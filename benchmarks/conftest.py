@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every figure/table of
+the paper at the scale selected by ``REPRO_BENCH_SCALE`` (smoke | small |
+paper, default smoke).  Each figure bench prints the paper-style table
+(visible with ``-s`` or in the captured output) and writes a CSV into
+``./results/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import MappingEvaluator
+from repro.graphs.generators import random_sp_graph
+from repro.platform import paper_platform
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return paper_platform()
+
+
+@pytest.fixture(scope="session")
+def sp_graph_50(platform):
+    """A fixed 50-task random SP graph + evaluator, for micro-benchmarks."""
+    g = random_sp_graph(50, np.random.default_rng(1234))
+    ev = MappingEvaluator(g, platform, rng=np.random.default_rng(5), n_random_schedules=20)
+    return g, ev

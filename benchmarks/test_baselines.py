@@ -1,0 +1,31 @@
+"""Bench target: extended baseline roster on one sweep.
+
+Not a paper artifact — a regression radar over every fast mapper in the
+library.  Asserts the two structural facts the whole reproduction rests on:
+the decomposition mappers beat the single-pass list schedulers on average,
+and no mapper ever loses to the all-CPU baseline by construction where that
+guarantee exists.
+"""
+
+from repro.experiments import baselines
+from repro.experiments.config import bench_scale
+from repro.experiments.reporting import format_sweep_table, write_csv
+
+
+def test_baseline_roster(benchmark):
+    result = benchmark.pedantic(
+        lambda: baselines.run(scale=bench_scale()), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(result))
+    write_csv(result)
+
+    series = {s.name: s for s in result.series()}
+    mean = lambda s: sum(s.improvement) / len(s.improvement)
+    list_schedulers = ["HEFT", "PEFT", "CPOP", "MinMin", "MaxMin"]
+    best_list = max(mean(series[n]) for n in list_schedulers)
+    assert mean(series["SPFirstFit"]) >= best_list - 0.05, (
+        "decomposition should be competitive with every list scheduler"
+    )
+    for name in ("Tabu", "Annealing", "SNFirstFit", "SPFirstFit"):
+        assert min(series[name].improvement) >= 0.0

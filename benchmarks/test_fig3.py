@@ -1,0 +1,32 @@
+"""Bench target for paper Fig. 3: decomposition vs MILPs on random SP graphs.
+
+Regenerates both panels (relative improvement and execution time per
+algorithm and graph size), prints the paper-style table, writes
+``results/fig3*.csv`` and checks the paper's qualitative shape:
+
+- the decomposition mappers match/beat the dependency-blind device MILP,
+- the time-based MILP is orders of magnitude slower at the largest size.
+"""
+
+from repro.experiments import fig3
+from repro.experiments.config import bench_scale
+from repro.experiments.reporting import format_sweep_table, write_csv
+
+
+def test_fig3_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig3.run(scale=bench_scale()), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(result))
+    write_csv(result)
+
+    series = {s.name: s for s in result.series()}
+    sp = series["SeriesParallel"]
+    dev = series["WGDPDev"]
+    sp_mean = sum(sp.improvement) / len(sp.improvement)
+    dev_mean = sum(dev.improvement) / len(dev.improvement)
+    assert sp_mean >= dev_mean - 0.02, "decomposition should beat the device MILP"
+    assert series["WGDPTime"].time_s[-1] > 10 * sp.time_s[-1], (
+        "time-based MILP should be orders of magnitude slower"
+    )

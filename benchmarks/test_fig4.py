@@ -1,0 +1,40 @@
+"""Bench target for paper Fig. 4: decomposition vs HEFT/PEFT over graph size.
+
+Regenerates both panels, prints the table, writes ``results/fig4*.csv`` and
+checks the paper's qualitative shape:
+
+- at the largest size the decomposition mappers beat both list schedulers,
+- the FirstFit heuristic is substantially cheaper than the basic variant
+  while giving up almost no improvement.
+"""
+
+from repro.experiments import fig4
+from repro.experiments.config import bench_scale
+from repro.experiments.reporting import format_sweep_table, write_csv
+
+
+def test_fig4_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig4.run(scale=bench_scale()), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(result))
+    write_csv(result)
+
+    series = {s.name: s for s in result.series()}
+    largest = -1
+    for name in ("SNFirstFit", "SPFirstFit"):
+        assert (
+            series[name].improvement[largest]
+            >= series["HEFT"].improvement[largest] - 0.03
+        ), f"{name} should match or beat HEFT on large graphs"
+    # FirstFit cost advantage (paper: up to 75-80 % time reduction)
+    assert (
+        series["SNFirstFit"].time_s[largest]
+        <= 0.8 * series["SingleNode"].time_s[largest]
+    ), "FirstFit should cut the basic variant's execution time"
+    # FirstFit quality parity (paper: "almost negligible" difference)
+    assert (
+        series["SPFirstFit"].improvement[largest]
+        >= series["SeriesParallel"].improvement[largest] - 0.08
+    )

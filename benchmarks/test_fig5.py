@@ -1,0 +1,31 @@
+"""Bench target for paper Fig. 5: FirstFit decomposition vs NSGA-II.
+
+Regenerates both panels, prints the table, writes ``results/fig5*.csv`` and
+checks the paper's qualitative shape: the GA is competitive in quality but
+many times slower than the decomposition heuristics.
+"""
+
+from repro.experiments import fig5
+from repro.experiments.config import bench_scale
+from repro.experiments.reporting import format_sweep_table, write_csv
+
+
+def test_fig5_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5.run(scale=bench_scale()), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(result))
+    write_csv(result)
+
+    series = {s.name: s for s in result.series()}
+    largest = -1
+    # NSGA-II is far slower than the decomposition mappers at the largest size
+    assert (
+        series["NSGAII"].time_s[largest] > 3 * series["SPFirstFit"].time_s[largest]
+    ), "the GA should be several times slower"
+    # and not dramatically better in quality
+    assert (
+        series["SPFirstFit"].improvement[largest]
+        >= series["NSGAII"].improvement[largest] - 0.08
+    ), "SPFirstFit should stay within a few points of the GA"

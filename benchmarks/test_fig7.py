@@ -1,0 +1,32 @@
+"""Bench target for paper Fig. 7: almost-series-parallel graphs.
+
+Regenerates both panels (improvement and time vs number of conflicting extra
+edges), prints the table, writes ``results/fig7*.csv`` and checks the
+paper's qualitative shape: the series-parallel decomposition converges
+towards the single-node decomposition as the trees shatter, and both stay
+competitive with the GA.
+"""
+
+from repro.experiments import fig7
+from repro.experiments.config import bench_scale
+from repro.experiments.reporting import format_sweep_table, write_csv
+
+
+def test_fig7_regenerate(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7.run(scale=bench_scale()), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(result))
+    write_csv(result)
+
+    series = {s.name: s for s in result.series()}
+    sn = series["SNFirstFit"]
+    sp = series["SPFirstFit"]
+    # With many conflicting edges SP degenerates towards SN: the quality gap
+    # at the largest edge count must be small.
+    assert abs(sp.improvement[-1] - sn.improvement[-1]) < 0.1
+    # Decomposition keeps a clear edge over plain HEFT throughout.
+    mean_sp = sum(sp.improvement) / len(sp.improvement)
+    mean_heft = sum(series["HEFT"].improvement) / len(series["HEFT"].improvement)
+    assert mean_sp >= mean_heft - 0.02

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These use pytest-benchmark's statistics properly (many rounds): the cost of
+one full model-based evaluation (the paper's key primitive), Algorithm 1
+forest construction, candidate-set extraction, and one full mapper run per
+algorithm family on a fixed 50-task graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import MappingEvaluator
+from repro.graphs.generators import random_almost_sp_graph, random_sp_graph
+from repro.mappers import (
+    HeftMapper,
+    NsgaIIMapper,
+    PeftMapper,
+    sn_first_fit,
+    sp_first_fit,
+)
+from repro.sp import grow_decomposition_forest, series_parallel_candidates
+
+
+def test_bench_cost_model_evaluation(benchmark, sp_graph_50):
+    _, ev = sp_graph_50
+    mapping = np.zeros(ev.n_tasks, dtype=np.int64)
+    benchmark(ev.construction_makespan, mapping)
+
+
+def test_bench_reported_makespan_suite(benchmark, sp_graph_50):
+    _, ev = sp_graph_50
+    mapping = np.zeros(ev.n_tasks, dtype=np.int64)
+    benchmark(ev.reported_makespan, mapping)
+
+
+def test_bench_algorithm1_forest_sp(benchmark, platform):
+    g = random_sp_graph(200, np.random.default_rng(7))
+    rng = np.random.default_rng(0)
+    benchmark(lambda: grow_decomposition_forest(g, rng=rng))
+
+
+def test_bench_algorithm1_forest_almost_sp(benchmark, platform):
+    g = random_almost_sp_graph(200, 100, np.random.default_rng(8))
+    rng = np.random.default_rng(0)
+    benchmark(lambda: grow_decomposition_forest(g, rng=rng))
+
+
+def test_bench_candidate_extraction(benchmark, platform):
+    g = random_sp_graph(200, np.random.default_rng(9))
+    rng = np.random.default_rng(0)
+    benchmark(lambda: series_parallel_candidates(g, rng=rng))
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [HeftMapper, PeftMapper, sn_first_fit, sp_first_fit],
+    ids=["heft", "peft", "sn_first_fit", "sp_first_fit"],
+)
+def test_bench_mapper(benchmark, sp_graph_50, factory):
+    _, ev = sp_graph_50
+    mapper = factory()
+    rng_seed = np.random.SeedSequence(42)
+    benchmark.pedantic(
+        lambda: mapper.map(ev, rng=np.random.default_rng(rng_seed)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_nsgaii_short(benchmark, sp_graph_50):
+    _, ev = sp_graph_50
+    mapper = NsgaIIMapper(generations=20)
+    benchmark.pedantic(
+        lambda: mapper.map(ev, rng=np.random.default_rng(11)),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,33 @@
+"""Bench target for the paper's empirical-complexity claim (Sec. IV-B).
+
+"All decomposition-based mapping strategies exhibit a quadratic behavior
+regarding their execution time, although their theoretical execution time
+has a cubic dependency on the number of tasks."
+
+Fits ``time ~ n^alpha`` over the Fig. 4 size sweep and asserts the fitted
+exponents stay clearly below the cubic worst case, with the FirstFit
+variants cheaper than the basic ones.
+"""
+
+from repro.experiments import scaling
+from repro.experiments.config import bench_scale
+from repro.experiments.reporting import format_sweep_table, write_csv
+
+
+def test_scaling_exponents(benchmark):
+    result = benchmark.pedantic(
+        lambda: scaling.run(scale=bench_scale()), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep_table(result))
+    write_csv(result)
+
+    exponents = scaling.fit_exponents(result)
+    print("fitted exponents:", {k: round(v, 2) for k, v in exponents.items()})
+    for name, alpha in exponents.items():
+        assert alpha < 3.3, f"{name} scales worse than the cubic worst case"
+    # FirstFit saves a constant-factor (and often asymptotic) amount of work
+    series = {s.name: s for s in result.series()}
+    assert (
+        series["SPFirstFit"].time_s[-1] < series["SeriesParallel"].time_s[-1]
+    )

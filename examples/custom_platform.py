@@ -1,0 +1,68 @@
+"""Define a custom platform: a CPU with two area-constrained FPGAs.
+
+Shows the platform-model API beyond the paper's preset: devices are plain
+dataclasses, the interconnect is a bandwidth/latency matrix, and every
+mapper works unchanged on any platform.  With two FPGAs the decomposition
+mapper has to *split* streaming chains across area budgets — a scenario the
+single-node mapper handles poorly.
+
+Run:  python examples/custom_platform.py
+"""
+
+import numpy as np
+
+from repro.evaluation import MappingEvaluator
+from repro.graphs.generators import augment_workflow, make_workflow
+from repro.mappers import HeftMapper, sn_first_fit, sp_first_fit
+from repro.platform import Platform, cpu, fpga
+
+
+def build_platform() -> Platform:
+    devices = [
+        cpu("host", lanes=4, slots=4),
+        fpga("fpga_a", stream_gops=3.0, area_capacity=50.0),
+        fpga("fpga_b", stream_gops=2.0, area_capacity=80.0),
+    ]
+    #            host    fpga_a  fpga_b
+    bandwidth = [
+        [np.inf, 8.0, 8.0],
+        [8.0, np.inf, 2.0],   # direct FPGA<->FPGA link is slow
+        [8.0, 2.0, np.inf],
+    ]
+    latency = [
+        [0.0, 1e-4, 1e-4],
+        [1e-4, 0.0, 3e-4],
+        [1e-4, 3e-4, 0.0],
+    ]
+    return Platform(devices, bandwidth, latency)
+
+
+def main() -> None:
+    platform = build_platform()
+    rng = np.random.default_rng(11)
+    graph = make_workflow("epigenomics", 80, rng)  # parallel chains
+    augment_workflow(graph, rng)
+    print(f"platform: {platform}")
+    print(f"workflow: {graph.n_tasks} tasks, {graph.n_edges} edges")
+
+    evaluator = MappingEvaluator(graph, platform, rng=np.random.default_rng(0))
+    print(f"pure-CPU makespan: {evaluator.cpu_reported_makespan * 1e3:.1f} ms\n")
+
+    names = [d.name for d in platform.devices]
+    for mapper in (HeftMapper(), sn_first_fit(), sp_first_fit()):
+        res = mapper.map(evaluator, rng=np.random.default_rng(1))
+        counts = {n: int(np.sum(res.mapping == i)) for i, n in enumerate(names)}
+        usage = evaluator.model.area_usage(res.mapping)
+        area_txt = ", ".join(
+            f"{names[d]}={usage[d]:.0f}/{platform.devices[d].area_capacity:.0f}"
+            for d in sorted(usage)
+        )
+        print(
+            f"{mapper.name:>12s}: improvement "
+            f"{evaluator.relative_improvement(res.mapping):6.1%}  "
+            f"placement {counts}  area {area_txt}"
+        )
+
+
+if __name__ == "__main__":
+    main()

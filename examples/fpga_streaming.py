@@ -1,0 +1,108 @@
+"""FPGA dataflow streaming: why mapping whole subgraphs pays off.
+
+The paper's central argument for series-parallel decomposition: an FPGA can
+*stream* data along a chain of co-mapped tasks — the consumer starts as soon
+as the producer's pipeline is filled, and on-chip edges are free.  A mapper
+that only moves single tasks cannot discover this (each single move adds
+transfers that outweigh the gain: a local minimum), while a subgraph move
+relocates the whole chain at once.
+
+This example builds an epigenomics-style pipeline-of-chains, then compares:
+
+1. the pure-CPU baseline,
+2. the best *single-task* offload (always bad here),
+3. the whole-chain FPGA mapping that the SP decomposition finds,
+4. the same chain mapping evaluated *without* streaming (ablation).
+
+Run:  python examples/fpga_streaming.py
+"""
+
+import numpy as np
+
+from repro.evaluation import MappingEvaluator
+from repro.graphs import TaskGraph
+from repro.mappers import sn_first_fit, sp_first_fit
+from repro.platform import Platform, paper_platform
+from repro.platform.device import Device, DeviceKind
+
+
+def build_pipeline(n_lanes: int = 3, chain_len: int = 6) -> TaskGraph:
+    """Parallel chains of sequential-but-streamable tasks (FPGA's sweet spot)."""
+    g = TaskGraph()
+    tid = 0
+    split = tid
+    g.add_task(split, complexity=2.0, parallelizability=0.5, streamability=4.0,
+               area=2.0)
+    tid += 1
+    merge_id = n_lanes * chain_len + 1
+    for _ in range(n_lanes):
+        prev = split
+        for _ in range(chain_len):
+            g.add_task(
+                tid,
+                complexity=8.0,
+                parallelizability=0.1,   # hopeless on the GPU
+                streamability=9.0,       # excellent on the FPGA
+                area=3.0,
+            )
+            g.add_edge(prev, tid, data_mb=100.0)
+            prev = tid
+            tid += 1
+        g.add_edge(prev, merge_id, data_mb=50.0)
+    g.add_task(merge_id, complexity=2.0, parallelizability=0.5,
+               streamability=4.0, area=2.0)
+    return g
+
+
+def no_streaming_platform() -> Platform:
+    base = paper_platform()
+    devices = list(base.devices)
+    f = devices[2]
+    devices[2] = Device(
+        name=f.name, kind=DeviceKind.FPGA, lane_gops=f.lane_gops,
+        stream_gops=f.stream_gops, setup_s=f.setup_s,
+        area_capacity=f.area_capacity, serializes=False, streaming=False,
+    )
+    return Platform(devices, base.bandwidth_gbps.copy(), base.latency_s.copy())
+
+
+def main() -> None:
+    graph = build_pipeline()
+    platform = paper_platform()
+    ev = MappingEvaluator(graph, platform, rng=np.random.default_rng(0))
+    cpu_ms = ev.cpu_reported_makespan
+    print(f"pipeline: {graph.n_tasks} tasks in 3 chains; "
+          f"pure-CPU makespan {cpu_ms * 1e3:.1f} ms")
+
+    # best single-task offload
+    best_single = cpu_ms
+    for i in range(ev.n_tasks):
+        for d in (1, 2):
+            m = ev.cpu_mapping()
+            m[i] = d
+            best_single = min(best_single, ev.reported_makespan(m))
+    print(f"best single-task offload:   {best_single * 1e3:8.1f} ms "
+          f"({1 - best_single / cpu_ms:+.1%})")
+
+    sn = sn_first_fit().map(ev, rng=np.random.default_rng(1))
+    print(f"SingleNode FirstFit:        {ev.reported_makespan(sn.mapping) * 1e3:8.1f} ms "
+          f"({ev.relative_improvement(sn.mapping):+.1%})")
+
+    sp = sp_first_fit().map(ev, rng=np.random.default_rng(1))
+    sp_ms = ev.reported_makespan(sp.mapping)
+    on_fpga = int(np.sum(sp.mapping == 2))
+    print(f"SeriesParallel FirstFit:    {sp_ms * 1e3:8.1f} ms "
+          f"({ev.relative_improvement(sp.mapping):+.1%}), "
+          f"{on_fpga}/{ev.n_tasks} tasks on the FPGA")
+
+    # ablation: same mapping, streaming disabled in the cost model
+    ev_nostream = MappingEvaluator(
+        graph, no_streaming_platform(), rng=np.random.default_rng(0)
+    )
+    ns_ms = ev_nostream.reported_makespan(sp.mapping)
+    print(f"same mapping w/o streaming: {ns_ms * 1e3:8.1f} ms "
+          f"(streaming contributes {max(0.0, 1 - sp_ms / ns_ms):.1%})")
+
+
+if __name__ == "__main__":
+    main()

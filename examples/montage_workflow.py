@@ -1,0 +1,62 @@
+"""Map a montage-style astronomy workflow (paper Table I scenario).
+
+Montage mosaics have a characteristic shape: a wide projection fan feeding a
+narrow, compute-heavy tail (``mAdd``/``mShrink``).  The paper observes that
+"a small number of nodes near the end of the computation are responsible for
+most of the makespan", which makes PEFT competitive here while plain HEFT
+falls behind.
+
+This example generates a 120-task montage-like workflow, runs four mappers
+and prints a comparison plus where each algorithm puts the heavy tail tasks.
+
+Run:  python examples/montage_workflow.py [n_tasks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.evaluation import MappingEvaluator
+from repro.graphs.generators import augment_workflow, make_workflow
+from repro.mappers import HeftMapper, NsgaIIMapper, PeftMapper, sp_first_fit
+from repro.platform import paper_platform
+
+
+def main(n_tasks: int = 120) -> None:
+    rng = np.random.default_rng(7)
+    graph = make_workflow("montage", n_tasks, rng)
+    augment_workflow(graph, rng)
+    print(f"montage-like workflow: {graph.n_tasks} tasks, {graph.n_edges} edges")
+
+    platform = paper_platform()
+    evaluator = MappingEvaluator(graph, platform, rng=np.random.default_rng(1))
+
+    # the four heaviest tasks are the mosaic tail (imgtbl/add/shrink/jpeg)
+    by_weight = sorted(
+        graph.tasks(), key=lambda t: graph.params(t).complexity, reverse=True
+    )
+    tail = by_weight[:4]
+    names = [d.name for d in platform.devices]
+
+    mappers = [
+        HeftMapper(),
+        PeftMapper(),
+        sp_first_fit(),
+        NsgaIIMapper(generations=60),
+    ]
+    print(f"{'algorithm':>12s} | {'improvement':>11s} | {'time':>9s} | heavy-tail placement")
+    print("-" * 75)
+    for mapper in mappers:
+        res = mapper.map(evaluator, rng=np.random.default_rng(2))
+        imp = evaluator.relative_improvement(res.mapping)
+        placement = ", ".join(
+            names[res.mapping[evaluator.model.index[t]]] for t in tail
+        )
+        print(
+            f"{mapper.name:>12s} | {imp:>10.1%} | {res.elapsed_s * 1e3:7.1f}ms"
+            f" | {placement}"
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 120)

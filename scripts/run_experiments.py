@@ -1,0 +1,88 @@
+"""Run the full reproduction suite at a report scale and save all outputs.
+
+This is the script behind EXPERIMENTS.md: it regenerates every figure and
+table at a scale large enough to show the paper's trends (denser than the
+benchmark smoke scale, lighter than the full paper scale so it completes on
+a laptop core), writing text tables and CSVs into ./results/.
+
+Run:  python scripts/run_experiments.py [--scale smoke|small|paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import os
+import sys
+import time
+
+from repro.experiments import fig3, fig4, fig5, fig6, fig7, table1
+from repro.experiments.config import get_scale
+from repro.experiments.reporting import format_sweep_table, results_dir, write_csv
+from repro.experiments.table1 import format_table
+from repro.experiments.table1 import write_csv as write_table1_csv
+
+
+def report_scale(base: str = "small"):
+    """The EXPERIMENTS.md scale: 'small' with single-core-friendly MILPs."""
+    cfg = get_scale(base)
+    if base != "small":
+        return cfg
+    return dataclasses.replace(
+        cfg,
+        name="report",
+        graphs_per_point=8,
+        fig3_sizes=[5, 10, 15, 20, 25, 30],
+        fig3_zhouliu_max=10,
+        zhouliu_time_limit_s=45.0,
+        milp_time_limit_s=20.0,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="small")
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="subset of {fig3,fig4,fig5,fig6,fig7,table1}",
+    )
+    args = parser.parse_args()
+    cfg = report_scale(args.scale)
+    out = results_dir()
+
+    jobs = {
+        "fig4": lambda: fig4.run(scale=cfg),
+        "fig5": lambda: fig5.run(scale=cfg),
+        "fig6": lambda: fig6.run(scale=cfg),
+        "fig7": lambda: fig7.run(scale=cfg),
+        "fig3": lambda: fig3.run(scale=cfg),
+    }
+    selected = args.only or [*jobs, "table1"]
+
+    for name, job in jobs.items():
+        if name not in selected:
+            continue
+        t0 = time.time()
+        print(f"=== running {name} (scale={cfg.name}) ===", flush=True)
+        result = job()
+        text = format_sweep_table(result)
+        print(text, flush=True)
+        with open(os.path.join(out, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+        write_csv(result, os.path.join(out, f"{name}.csv"))
+        print(f"=== {name} done in {time.time() - t0:.0f}s ===\n", flush=True)
+
+    if "table1" in selected:
+        t0 = time.time()
+        print("=== running table1 ===", flush=True)
+        result = table1.run(scale=cfg)
+        text = format_table(result)
+        print(text, flush=True)
+        with open(os.path.join(out, "table1.txt"), "w") as fh:
+            fh.write(text + "\n")
+        write_table1_csv(result, os.path.join(out, "table1.csv"))
+        print(f"=== table1 done in {time.time() - t0:.0f}s ===", flush=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""repro — decomposition-based static task mapping for heterogeneous systems.
+
+A from-scratch reproduction of
+
+    Martin Wilhelm and Thilo Pionteck:
+    "Static task mapping for heterogeneous systems based on series-parallel
+    decompositions", IPPS 2025 (arXiv:2502.19745).
+
+Public API tour
+---------------
+- :mod:`repro.graphs` — task-graph substrate and generators (random SP,
+  almost-SP, scientific-workflow families);
+- :mod:`repro.sp` — series-parallel decomposition trees, recognition, and
+  the paper's Algorithm 1 (decomposition forests for arbitrary DAGs);
+- :mod:`repro.platform` — CPU/GPU/FPGA platform model;
+- :mod:`repro.evaluation` — the linear-time model-based makespan evaluator;
+- :mod:`repro.mappers` — SingleNode/SeriesParallel decomposition mappers
+  (with FirstFit / gamma-threshold heuristics), HEFT, PEFT, NSGA-II and
+  three MILP baselines;
+- :mod:`repro.experiments` — drivers regenerating every figure and table of
+  the paper's evaluation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.graphs.generators import random_sp_graph
+>>> from repro.platform import paper_platform
+>>> from repro.evaluation import MappingEvaluator
+>>> from repro.mappers import sp_first_fit
+>>> g = random_sp_graph(50, np.random.default_rng(0))
+>>> ev = MappingEvaluator(g, paper_platform())
+>>> result = sp_first_fit().map(ev)
+>>> 0.0 <= ev.relative_improvement(result.mapping) <= 1.0
+True
+"""
+
+from . import evaluation, graphs, mappers, platform, sp
+
+__version__ = "1.0.0"
+
+__all__ = ["evaluation", "graphs", "mappers", "platform", "sp", "__version__"]

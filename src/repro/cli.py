@@ -1,0 +1,313 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   create a task graph (random SP / almost-SP / workflow) as JSON
+``decompose``  run Algorithm 1 on a graph, print the forest and its stats
+``map``        map a graph with any algorithm, write the mapping JSON
+``evaluate``   evaluate a mapping (makespan, improvement, optional Gantt)
+``compare``    run several algorithms head-to-head on one graph
+``experiment`` regenerate a paper figure/table (fig3..fig7, table1)
+
+Examples
+--------
+::
+
+    python -m repro generate --kind sp --n 50 --seed 7 -o graph.json
+    python -m repro decompose graph.json --strategy smallest
+    python -m repro map graph.json --algorithm sp-first-fit -o mapping.json
+    python -m repro evaluate graph.json mapping.json --gantt
+    python -m repro compare graph.json --algorithms heft peft sp-first-fit
+    python -m repro experiment fig4 --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .evaluation import MappingEvaluator, render_gantt, simulate_trace
+from .graphs.generators import (
+    WORKFLOW_FAMILIES,
+    augment_workflow,
+    make_workflow,
+    random_almost_sp_graph,
+    random_sp_graph,
+)
+from .io import (
+    graph_to_dot,
+    load_graph,
+    load_platform,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_graph,
+)
+from .mappers import (
+    HeftMapper,
+    NsgaIIMapper,
+    PeftMapper,
+    WgdpDeviceMapper,
+    WgdpTimeMapper,
+    ZhouLiuMapper,
+    series_parallel,
+    single_node,
+    sn_first_fit,
+    sp_first_fit,
+)
+from .mappers import CpopMapper, MaxMinMapper, MinMinMapper, TabuSearchMapper
+from .mappers.annealing import SimulatedAnnealingMapper
+from .mappers.lookahead import LookaheadHeftMapper
+from .platform import paper_platform
+from .sp import grow_decomposition_forest
+from .sp.analysis import forest_stats, sp_distance
+
+__all__ = ["main", "MAPPER_FACTORIES"]
+
+MAPPER_FACTORIES: Dict[str, Callable[[], object]] = {
+    "single-node": single_node,
+    "series-parallel": series_parallel,
+    "sn-first-fit": sn_first_fit,
+    "sp-first-fit": sp_first_fit,
+    "heft": HeftMapper,
+    "peft": PeftMapper,
+    "cpop": CpopMapper,
+    "min-min": MinMinMapper,
+    "max-min": MaxMinMapper,
+    "tabu": TabuSearchMapper,
+    "la-heft": LookaheadHeftMapper,
+    "nsga2": lambda: NsgaIIMapper(generations=100),
+    "annealing": SimulatedAnnealingMapper,
+    "wgdp-dev": lambda: WgdpDeviceMapper(time_limit_s=30),
+    "wgdp-time": lambda: WgdpTimeMapper(time_limit_s=60),
+    "zhou-liu": lambda: ZhouLiuMapper(time_limit_s=120),
+}
+
+
+def _load_platform(args) -> object:
+    if getattr(args, "platform", None):
+        return load_platform(args.platform)
+    return paper_platform()
+
+
+def _evaluator(graph, args) -> MappingEvaluator:
+    return MappingEvaluator(
+        graph,
+        _load_platform(args),
+        rng=np.random.default_rng(getattr(args, "eval_seed", 0)),
+        n_random_schedules=getattr(args, "schedules", 100),
+    )
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+def cmd_generate(args) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.kind == "sp":
+        g = random_sp_graph(args.n, rng)
+    elif args.kind == "almost-sp":
+        g = random_almost_sp_graph(args.n, args.extra_edges, rng)
+    elif args.kind in WORKFLOW_FAMILIES:
+        g = make_workflow(args.kind, args.n, rng)
+        augment_workflow(g, rng)
+    else:
+        print(f"unknown kind {args.kind!r}", file=sys.stderr)
+        return 2
+    if args.output:
+        save_graph(g, args.output)
+        print(f"wrote {g.n_tasks} tasks / {g.n_edges} edges to {args.output}")
+    else:
+        from .io import graph_to_dict
+
+        json.dump(graph_to_dict(g), sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def cmd_decompose(args) -> int:
+    g = load_graph(args.graph)
+    rng = np.random.default_rng(args.seed)
+    forest = grow_decomposition_forest(
+        g, rng=rng, cut_strategy=args.strategy
+    )
+    stats = forest_stats(g, forest)
+    print(f"graph: {g.n_tasks} tasks, {g.n_edges} edges")
+    print(
+        f"forest: {stats.n_trees} trees, {stats.n_cuts} cuts, "
+        f"core fraction {stats.core_fraction:.1%}, "
+        f"sp-distance {sp_distance(g):.3f}"
+    )
+    if args.trees:
+        for k, tree in enumerate(forest.trees):
+            print(f"--- tree {k} {'(core)' if k == 0 else '(cut)'} ---")
+            print(tree.pretty())
+    if args.dot:
+        from .io import forest_to_dot
+
+        with open(args.dot, "w") as fh:
+            fh.write(forest_to_dot(g, forest))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def cmd_map(args) -> int:
+    g = load_graph(args.graph)
+    evaluator = _evaluator(g, args)
+    mapper = MAPPER_FACTORIES[args.algorithm]()
+    result = mapper.map(evaluator, rng=np.random.default_rng(args.seed))
+    improvement = evaluator.relative_improvement(result.mapping)
+    print(
+        f"{mapper.name}: makespan {result.makespan * 1e3:.2f} ms, "
+        f"improvement {improvement:.1%}, "
+        f"{result.n_evaluations} evaluations in {result.elapsed_s * 1e3:.1f} ms"
+    )
+    if args.output:
+        doc = mapping_to_dict(
+            g,
+            evaluator.platform,
+            result.mapping,
+            makespan=result.makespan,
+            algorithm=mapper.name,
+        )
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.output}")
+    if args.dot:
+        with open(args.dot, "w") as fh:
+            fh.write(
+                graph_to_dot(g, mapping=result.mapping,
+                             platform=evaluator.platform)
+            )
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    g = load_graph(args.graph)
+    evaluator = _evaluator(g, args)
+    with open(args.mapping) as fh:
+        mapping = mapping_from_dict(json.load(fh), g, evaluator.platform)
+    reported = evaluator.reported_makespan(mapping)
+    print(f"reported makespan : {reported * 1e3:.2f} ms")
+    print(f"cpu baseline      : {evaluator.cpu_reported_makespan * 1e3:.2f} ms")
+    print(f"improvement       : {evaluator.relative_improvement(mapping):.1%}")
+    if args.gantt:
+        trace = simulate_trace(evaluator.model, mapping)
+        print(render_gantt(trace, evaluator.model))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    g = load_graph(args.graph)
+    evaluator = _evaluator(g, args)
+    print(f"{'algorithm':>16s} | {'improvement':>11s} | {'time':>10s}")
+    print("-" * 45)
+    for name in args.algorithms:
+        mapper = MAPPER_FACTORIES[name]()
+        res = mapper.map(evaluator, rng=np.random.default_rng(args.seed))
+        imp = evaluator.relative_improvement(res.mapping)
+        print(
+            f"{mapper.name:>16s} | {imp:>10.1%} | {res.elapsed_s * 1e3:>8.1f}ms"
+        )
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from .experiments import fig3, fig4, fig5, fig6, fig7, table1
+    from .experiments.reporting import print_sweep
+    from .experiments.table1 import format_table
+
+    drivers = {
+        "fig3": fig3.run, "fig4": fig4.run, "fig5": fig5.run,
+        "fig6": fig6.run, "fig7": fig7.run,
+    }
+    if args.name == "table1":
+        print(format_table(table1.run(scale=args.scale)))
+    else:
+        print_sweep(drivers[args.name](scale=args.scale))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a task graph")
+    p.add_argument("--kind", default="sp",
+                   help=f"sp | almost-sp | {' | '.join(sorted(WORKFLOW_FAMILIES))}")
+    p.add_argument("--n", type=int, default=50)
+    p.add_argument("--extra-edges", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("decompose", help="run Algorithm 1 on a graph")
+    p.add_argument("graph")
+    p.add_argument("--strategy", default="random",
+                   choices=["random", "first", "smallest", "largest"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trees", action="store_true", help="print every tree")
+    p.add_argument("--dot", help="write a clustered DOT file")
+    p.set_defaults(func=cmd_decompose)
+
+    p = sub.add_parser("map", help="map a graph")
+    p.add_argument("graph")
+    p.add_argument("--algorithm", default="sp-first-fit",
+                   choices=sorted(MAPPER_FACTORIES))
+    p.add_argument("--platform", help="platform JSON (default: paper platform)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eval-seed", type=int, default=0)
+    p.add_argument("--schedules", type=int, default=100)
+    p.add_argument("-o", "--output", help="mapping JSON output")
+    p.add_argument("--dot", help="write a colored DOT file")
+    p.set_defaults(func=cmd_map)
+
+    p = sub.add_parser("evaluate", help="evaluate a stored mapping")
+    p.add_argument("graph")
+    p.add_argument("mapping")
+    p.add_argument("--platform")
+    p.add_argument("--eval-seed", type=int, default=0)
+    p.add_argument("--schedules", type=int, default=100)
+    p.add_argument("--gantt", action="store_true")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("compare", help="compare algorithms on one graph")
+    p.add_argument("graph")
+    p.add_argument("--algorithms", nargs="+",
+                   default=["heft", "peft", "sn-first-fit", "sp-first-fit"],
+                   choices=sorted(MAPPER_FACTORIES))
+    p.add_argument("--platform")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eval-seed", type=int, default=0)
+    p.add_argument("--schedules", type=int, default=100)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p.add_argument("name",
+                   choices=["fig3", "fig4", "fig5", "fig6", "fig7", "table1"])
+    p.add_argument("--scale", default="smoke",
+                   choices=["smoke", "small", "paper"])
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

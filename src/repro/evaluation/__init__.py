@@ -1,0 +1,25 @@
+"""Model-based evaluation: cost model, schedule suites, evaluator, traces."""
+
+from .cache import CachedEvaluator
+from .costmodel import INFEASIBLE, CostModel
+from .energy import JOULES_PER_MB, EnergyModel, energy_joules
+from .evaluator import MappingEvaluator
+from .schedules import ScheduleSuite, bfs_schedule, random_topological_schedule
+from .trace import ScheduleTrace, TaskTrace, render_gantt, simulate_trace
+
+__all__ = [
+    "INFEASIBLE",
+    "CachedEvaluator",
+    "CostModel",
+    "MappingEvaluator",
+    "JOULES_PER_MB",
+    "EnergyModel",
+    "energy_joules",
+    "ScheduleSuite",
+    "bfs_schedule",
+    "random_topological_schedule",
+    "ScheduleTrace",
+    "TaskTrace",
+    "render_gantt",
+    "simulate_trace",
+]

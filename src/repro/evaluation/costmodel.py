@@ -1,0 +1,245 @@
+"""Linear-time model-based makespan evaluation (paper Sec. II-B / III-A).
+
+The paper's key enabler is a cost function that re-evaluates a *complete*
+mapping in O(edges), so the greedy decomposition mapper can afford a full
+re-evaluation per candidate move.  :class:`CostModel` implements that
+function as a list-scheduling simulation over a fixed priority order:
+
+- tasks are visited in a topological *schedule* order;
+- a task's ready time is the max over its predecessors of
+  ``finish(pred) + transfer`` (transfer is zero on the same device);
+- serializing devices (CPU, GPU) offer a bounded number of concurrent task
+  ``slots`` — the task starts at ``max(ready, earliest_slot_available)``
+  (a 16-core CPU is 4 slots of 4 cores; the GPU is a single slot);
+- the FPGA is *spatial*: no serialization, instead the total mapped task
+  ``area`` must fit the device (hard feasibility);
+- **streaming**: for an edge ``u -> v`` with both tasks on a streaming
+  device, ``v`` starts once ``u``'s pipeline is filled
+  (``start(u) + exec(u) / streamability(u)``) instead of after ``u``
+  finishes, and ``v`` cannot finish before ``u`` does (pipeline drain) —
+  this is the dataflow behaviour that makes co-mapping whole subgraphs to
+  the FPGA attractive, which the series-parallel decomposition exploits;
+- source tasks mapped off-host pay the initial host-to-device transfer of
+  their input; sink tasks pay the return transfer of their result
+  (volume = input volume capped at one edge unit, see ``_sink_return_mb``).
+
+All tables (execution times, per-edge transfer costs for every device pair)
+are precomputed once per graph, so one evaluation is a tight O(V + E) loop —
+the hot path of the whole library (hpc guide: optimize the bottleneck only).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.taskgraph import DEFAULT_DATA_MB, TaskGraph
+from ..platform.platform import Platform
+from ..platform.taskmodel import exec_time_table
+
+__all__ = ["CostModel", "INFEASIBLE"]
+
+#: Makespan reported for mappings that violate a hard constraint.
+INFEASIBLE = float("inf")
+
+
+class CostModel:
+    """Precomputed cost tables and the makespan simulation for one graph."""
+
+    def __init__(self, graph: TaskGraph, platform: Platform) -> None:
+        graph.validate()
+        self.graph = graph
+        self.platform = platform
+        self.tasks: List[int] = graph.tasks()
+        self.index: Dict[int, int] = {t: i for i, t in enumerate(self.tasks)}
+        self.n = len(self.tasks)
+        self.m = platform.n_devices
+
+        # --- execution times (n x m), plus list-of-lists fast view -----
+        self.exec_table: np.ndarray = exec_time_table(graph, platform)
+        self._exec: List[List[float]] = self.exec_table.tolist()
+
+        # --- predecessor structure (flattened) -------------------------
+        # _pred[i] = list of (pred_index, transfer_row) where transfer_row
+        # is an m*m nested list: transfer_row[du][dv] = transfer seconds.
+        self._pred: List[List[Tuple[int, List[List[float]]]]] = []
+        lat = platform.latency_s
+        bw = platform.bandwidth_gbps
+        for t in self.tasks:
+            plist = []
+            for p in graph.predecessors(t):
+                data = graph.data_mb(p, t)
+                row = (lat + data / 1000.0 / bw).tolist()
+                plist.append((self.index[p], row))
+            self._pred.append(plist)
+
+        # --- streaming support ------------------------------------------
+        self._streaming_dev: List[bool] = [d.streaming for d in platform.devices]
+        self._serializes: List[bool] = [d.serializes for d in platform.devices]
+        self._slots: List[int] = [d.slots for d in platform.devices]
+        # pipeline fill time of task i on device d = exec / streamability
+        stream = np.array(
+            [max(graph.params(t).streamability, 1.0) for t in self.tasks]
+        )
+        self._fill: List[List[float]] = (
+            self.exec_table / stream[:, None]
+        ).tolist()
+
+        # --- host I/O for sources and sinks ------------------------------
+        host = platform.host_index
+        self._initial: List[List[float]] = []
+        self._final: List[List[float]] = []
+        for i, t in enumerate(self.tasks):
+            if graph.in_degree(t) == 0:
+                inp = graph.input_mb(t)
+                self._initial.append(
+                    [platform.transfer_time(host, d, inp) for d in range(self.m)]
+                )
+            else:
+                self._initial.append([0.0] * self.m)
+            if graph.out_degree(t) == 0:
+                out = self._sink_return_mb(t)
+                self._final.append(
+                    [platform.transfer_time(d, host, out) for d in range(self.m)]
+                )
+            else:
+                self._final.append([0.0] * self.m)
+
+        # --- area constraints -------------------------------------------
+        self._area = np.array([graph.params(t).area for t in self.tasks])
+        self._area_limits: Dict[int, float] = platform.area_capacities()
+
+        # --- default schedule (breadth-first) ----------------------------
+        self.bfs_order: List[int] = [self.index[t] for t in graph.bfs_order()]
+
+        #: number of makespan simulations performed (for the harness stats)
+        self.n_simulations = 0
+
+    # ------------------------------------------------------------------
+    def _sink_return_mb(self, t: int) -> float:
+        """Result volume a sink returns to the host (capped at one edge unit)."""
+        return min(self.graph.input_mb(t), DEFAULT_DATA_MB)
+
+    # ------------------------------------------------------------------
+    # feasibility
+    # ------------------------------------------------------------------
+    def area_usage(self, mapping: Sequence[int]) -> Dict[int, float]:
+        """Summed task area per area-constrained device."""
+        mapping = np.asarray(mapping)
+        return {
+            d: float(self._area[mapping == d].sum()) for d in self._area_limits
+        }
+
+    def is_feasible(self, mapping: Sequence[int]) -> bool:
+        """True iff all device area budgets are respected."""
+        usage = self.area_usage(mapping)
+        return all(usage[d] <= self._area_limits[d] + 1e-9 for d in usage)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        mapping: Sequence[int],
+        order: Optional[Sequence[int]] = None,
+        *,
+        check_feasibility: bool = True,
+        contention: bool = True,
+    ) -> float:
+        """Makespan of ``mapping`` under a topological ``order`` (task indices).
+
+        ``order`` defaults to the breadth-first schedule.  Returns
+        :data:`INFEASIBLE` if an area budget is violated.  With
+        ``contention=False`` the device-serialization constraint is dropped
+        (used for the critical-path lower bound).
+        """
+        if check_feasibility and not self.is_feasible(mapping):
+            return INFEASIBLE
+        self.n_simulations += 1
+        if order is None:
+            order = self.bfs_order
+        mapping = list(mapping)
+
+        exec_ = self._exec
+        fill = self._fill
+        pred = self._pred
+        streaming_dev = self._streaming_dev
+        serializes = self._serializes
+        initial = self._initial
+        final = self._final
+
+        start = [0.0] * self.n
+        finish = [0.0] * self.n
+        # per-device slot availability times (earliest-slot list scheduling)
+        avail = [[0.0] * s for s in self._slots]
+        makespan = 0.0
+
+        for i in order:
+            d = mapping[i]
+            ready = initial[i][d]
+            drain = 0.0
+            for p, trans in pred[i]:
+                dp = mapping[p]
+                if dp == d and streaming_dev[d]:
+                    # on-chip streaming: start after the producer's pipeline
+                    # is filled; cannot finish before the producer finishes.
+                    r = start[p] + fill[p][dp]
+                    fp = finish[p]
+                    if fp > drain:
+                        drain = fp
+                else:
+                    r = finish[p] + trans[dp][d]
+                if r > ready:
+                    ready = r
+            st = ready
+            slot = -1
+            if contention and serializes[d]:
+                slots_d = avail[d]
+                slot = 0
+                earliest = slots_d[0]
+                for j in range(1, len(slots_d)):
+                    if slots_d[j] < earliest:
+                        earliest = slots_d[j]
+                        slot = j
+                if earliest > ready:
+                    st = earliest
+            fin = st + exec_[i][d]
+            if drain > fin:
+                fin = drain
+            start[i] = st
+            finish[i] = fin
+            if slot >= 0:
+                avail[d][slot] = fin
+            end = fin + final[i][d]
+            if end > makespan:
+                makespan = end
+        return makespan
+
+    # ------------------------------------------------------------------
+    # bounds (used by tests and sanity checks)
+    # ------------------------------------------------------------------
+    def critical_path_bound(self, mapping: Sequence[int]) -> float:
+        """Makespan without device contention: a lower bound on the makespan.
+
+        This is the same monotone recurrence as :meth:`simulate` with the
+        serialization constraint dropped, so it correctly accounts for
+        streaming overlap (a plain longest-path over execution times would
+        *over*-estimate streamed chains and not be a valid bound).
+        """
+        return self.simulate(
+            list(mapping), check_feasibility=False, contention=False
+        )
+
+    def serial_bound(self, mapping: Sequence[int]) -> float:
+        """Sum of all execution, transfer and I/O times: an upper bound."""
+        mapping = list(mapping)
+        total = 0.0
+        for i in range(self.n):
+            d = mapping[i]
+            total += self._exec[i][d] + self._initial[i][d] + self._final[i][d]
+            for p, trans in self._pred[i]:
+                dp = mapping[p]
+                if not (dp == d and self._streaming_dev[d]):
+                    total += trans[dp][d]
+        return total

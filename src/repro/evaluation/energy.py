@@ -1,0 +1,97 @@
+"""Energy model — the multi-objective extension (paper Sec. V).
+
+The paper notes its "basic algorithmic ideas [...] can easily be transferred
+to multi-objective optimization"; this module supplies the second objective:
+total energy of one application run under a given mapping,
+
+    E = sum_tasks  exec_time(t, dev(t)) * watts_active(dev(t))   # compute
+      + sum_edges  data_mb * JOULES_PER_MB[link]                 # transfers
+      + makespan * sum_devices watts_idle                        # idle floor
+
+The structure mirrors the makespan model: co-locating communicating tasks
+saves transfer energy, the FPGA is by far the most energy-efficient
+processor (18 W vs 155/210 W), and faster makespans reduce the idle floor —
+so makespan and energy are correlated but *not* aligned: the GPU often wins
+time while losing energy, which is exactly the tension a multi-objective
+mapper has to expose (see :mod:`repro.mappers.multiobjective`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .costmodel import INFEASIBLE, CostModel
+
+__all__ = ["JOULES_PER_MB", "energy_joules", "EnergyModel"]
+
+#: Transfer energy per MB moved across a PCIe-class link (both endpoints
+#: busy plus DMA), a coarse literature-typical constant.
+JOULES_PER_MB = 0.02
+
+
+class EnergyModel:
+    """Precomputed energy tables for one graph/platform pair.
+
+    Shares the :class:`CostModel`'s execution-time tables; one evaluation is
+    O(V + E) like the makespan simulation.
+    """
+
+    def __init__(self, model: CostModel) -> None:
+        self.model = model
+        platform = model.platform
+        self._active = [d.watts_active for d in platform.devices]
+        self._idle_total = float(sum(d.watts_idle for d in platform.devices))
+        # per-task compute energy per device: exec * active watts
+        self._compute = model.exec_table * np.asarray(self._active)[None, :]
+
+    def energy(
+        self,
+        mapping: Sequence[int],
+        *,
+        makespan: Optional[float] = None,
+        check_feasibility: bool = True,
+    ) -> float:
+        """Total energy (J) of one run; INFEASIBLE if area is violated.
+
+        ``makespan`` may be passed to reuse an already-computed value;
+        otherwise the BFS-schedule makespan is simulated.
+        """
+        model = self.model
+        if check_feasibility and not model.is_feasible(mapping):
+            return INFEASIBLE
+        mapping = list(mapping)
+        if makespan is None:
+            makespan = model.simulate(mapping, check_feasibility=False)
+        compute = self._compute
+        total = 0.0
+        for i in range(model.n):
+            total += compute[i][mapping[i]]
+        # transfer energy: off-device edges plus source/sink host I/O
+        transfer_mb = 0.0
+        g = model.graph
+        tasks = model.tasks
+        host = model.platform.host_index
+        for i, t in enumerate(tasks):
+            d = mapping[i]
+            for p, _ in model._pred[i]:  # noqa: SLF001
+                if mapping[p] != d:
+                    transfer_mb += g.data_mb(tasks[p], t)
+            if g.in_degree(t) == 0 and d != host:
+                transfer_mb += g.input_mb(t)
+            if g.out_degree(t) == 0 and d != host:
+                transfer_mb += model._sink_return_mb(t)  # noqa: SLF001
+        total += transfer_mb * JOULES_PER_MB
+        total += makespan * self._idle_total
+        return total
+
+
+def energy_joules(
+    model: CostModel,
+    mapping: Sequence[int],
+    *,
+    makespan: Optional[float] = None,
+) -> float:
+    """One-shot energy evaluation (constructs a throwaway table)."""
+    return EnergyModel(model).energy(mapping, makespan=makespan)

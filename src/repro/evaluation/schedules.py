@@ -1,0 +1,78 @@
+"""Schedule suites (paper Sec. IV-A).
+
+"For each graph, we determine the makespan of a mapping as the minimum among
+all makespans that are computed using a breadth-first schedule and 100
+randomly generated schedules."
+
+A *schedule* here is a topological priority order fed to the list simulation
+of :class:`repro.evaluation.costmodel.CostModel`.  The suite is generated
+once per graph and reused for every mapping, so algorithm comparisons see
+identical schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graphs.taskgraph import TaskGraph
+
+__all__ = ["bfs_schedule", "random_topological_schedule", "ScheduleSuite"]
+
+
+def bfs_schedule(g: TaskGraph) -> List[int]:
+    """Breadth-first schedule as task *indices* into ``g.tasks()``."""
+    index = {t: i for i, t in enumerate(g.tasks())}
+    return [index[t] for t in g.bfs_order()]
+
+
+def random_topological_schedule(
+    g: TaskGraph, rng: np.random.Generator
+) -> List[int]:
+    """A uniformly random-ish topological order (Kahn with random tie-break)."""
+    index = {t: i for i, t in enumerate(g.tasks())}
+    indeg = {t: g.in_degree(t) for t in g.tasks()}
+    ready = [t for t in g.tasks() if indeg[t] == 0]
+    order: List[int] = []
+    while ready:
+        pos = int(rng.integers(len(ready)))
+        ready[pos], ready[-1] = ready[-1], ready[pos]
+        t = ready.pop()
+        order.append(index[t])
+        for s in g.successors(t):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    return order
+
+
+@dataclass
+class ScheduleSuite:
+    """A fixed set of schedules; reported makespan = min over the suite."""
+
+    orders: List[List[int]]
+
+    @classmethod
+    def paper(
+        cls,
+        g: TaskGraph,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        n_random: int = 100,
+    ) -> "ScheduleSuite":
+        """BFS + ``n_random`` random schedules (paper default: 100)."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        orders = [bfs_schedule(g)]
+        for _ in range(n_random):
+            orders.append(random_topological_schedule(g, rng))
+        return cls(orders)
+
+    @classmethod
+    def bfs_only(cls, g: TaskGraph) -> "ScheduleSuite":
+        """Only the deterministic breadth-first schedule (fast path)."""
+        return cls([bfs_schedule(g)])
+
+    def __len__(self) -> int:
+        return len(self.orders)

@@ -1,0 +1,191 @@
+"""Schedule traces and ASCII Gantt charts.
+
+:func:`simulate_trace` runs the same recurrence as
+:meth:`repro.evaluation.costmodel.CostModel.simulate` but records *why* each
+task starts when it does — device, slot, ready time, whether it streamed
+from a predecessor, and the transfer costs paid.  :func:`render_gantt` turns
+a trace into a terminal Gantt chart:
+
+::
+
+    epyc7351p.0 |██0███░░██3███████        |
+    epyc7351p.1 |  ██1████                 |
+    vega56      |      ██2██               |
+    xcz7045     |  ≈≈≈≈4≈≈≈≈               |
+
+The trace is the debugging/teaching view of the cost model; the hot path in
+``costmodel`` stays record-free.  Consistency between the two is covered by
+tests (the trace's makespan must equal ``simulate()``'s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .costmodel import INFEASIBLE, CostModel
+
+__all__ = ["TaskTrace", "ScheduleTrace", "simulate_trace", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TaskTrace:
+    """Execution record of one task."""
+
+    task: int               # task id
+    index: int              # task index
+    device: int
+    slot: int               # -1 on non-serializing devices
+    ready: float            # data-ready time (after transfers/streams)
+    start: float
+    finish: float
+    streamed: bool          # received at least one streamed input
+    waited: float           # start - ready (device contention)
+
+
+@dataclass
+class ScheduleTrace:
+    """Full simulation record."""
+
+    tasks: List[TaskTrace]
+    makespan: float
+    device_busy: List[float]   # summed execution time per device
+
+    def by_device(self, device: int) -> List[TaskTrace]:
+        return [t for t in self.tasks if t.device == device]
+
+    def total_wait(self) -> float:
+        return sum(t.waited for t in self.tasks)
+
+
+def simulate_trace(
+    model: CostModel,
+    mapping: Sequence[int],
+    order: Optional[Sequence[int]] = None,
+) -> ScheduleTrace:
+    """Trace-recording twin of ``CostModel.simulate`` (same numbers)."""
+    if not model.is_feasible(mapping):
+        return ScheduleTrace(tasks=[], makespan=INFEASIBLE,
+                             device_busy=[0.0] * model.m)
+    if order is None:
+        order = model.bfs_order
+    mapping = list(mapping)
+
+    n = model.n
+    start = [0.0] * n
+    finish = [0.0] * n
+    avail = [[0.0] * s for s in model._slots]  # noqa: SLF001
+    busy = [0.0] * model.m
+    makespan = 0.0
+    records: List[Optional[TaskTrace]] = [None] * n
+
+    for i in order:
+        d = mapping[i]
+        ready = model._initial[i][d]  # noqa: SLF001
+        drain = 0.0
+        streamed = False
+        for p, trans in model._pred[i]:  # noqa: SLF001
+            dp = mapping[p]
+            if dp == d and model._streaming_dev[d]:  # noqa: SLF001
+                r = start[p] + model._fill[p][dp]  # noqa: SLF001
+                streamed = True
+                if finish[p] > drain:
+                    drain = finish[p]
+            else:
+                r = finish[p] + trans[dp][d]
+            if r > ready:
+                ready = r
+        st = ready
+        slot = -1
+        if model._serializes[d]:  # noqa: SLF001
+            slots_d = avail[d]
+            slot = min(range(len(slots_d)), key=slots_d.__getitem__)
+            if slots_d[slot] > ready:
+                st = slots_d[slot]
+        exec_t = model._exec[i][d]  # noqa: SLF001
+        fin = max(st + exec_t, drain)
+        start[i] = st
+        finish[i] = fin
+        busy[d] += exec_t
+        if slot >= 0:
+            avail[d][slot] = fin
+        records[i] = TaskTrace(
+            task=model.tasks[i],
+            index=i,
+            device=d,
+            slot=slot,
+            ready=ready,
+            start=st,
+            finish=fin,
+            streamed=streamed,
+            waited=max(0.0, st - ready),
+        )
+        end = fin + model._final[i][d]  # noqa: SLF001
+        if end > makespan:
+            makespan = end
+
+    ordered = [records[i] for i in order]
+    return ScheduleTrace(tasks=ordered, makespan=makespan, device_busy=busy)
+
+
+def render_gantt(
+    trace: ScheduleTrace,
+    model: CostModel,
+    *,
+    width: int = 72,
+    stream_char: str = "≈",
+    busy_char: str = "█",
+) -> str:
+    """Terminal Gantt chart; one row per device slot (FPGA gets stacked rows)."""
+    if not trace.tasks or trace.makespan <= 0:
+        return "(empty or infeasible schedule)"
+    platform = model.platform
+    scale = width / trace.makespan
+
+    # rows: serializing devices -> one per slot; others -> one per task level
+    rows = []  # (label, list of (start, finish, task, streamed))
+    for d, dev in enumerate(platform.devices):
+        entries = sorted(
+            (t for t in trace.tasks if t.device == d), key=lambda t: t.start
+        )
+        if dev.serializes:
+            for s in range(dev.slots):
+                label = f"{dev.name}.{s}" if dev.slots > 1 else dev.name
+                rows.append(
+                    (label, [t for t in entries if t.slot == s])
+                )
+        else:
+            # pack concurrent FPGA tasks into as few display rows as needed
+            lanes: List[List[TaskTrace]] = []
+            for t in entries:
+                for lane in lanes:
+                    if lane[-1].finish <= t.start + 1e-12:
+                        lane.append(t)
+                        break
+                else:
+                    lanes.append([t])
+            if not lanes:
+                lanes = [[]]
+            for k, lane in enumerate(lanes):
+                label = f"{dev.name}" if len(lanes) == 1 else f"{dev.name}~{k}"
+                rows.append((label, lane))
+
+    label_w = max(len(label) for label, _ in rows)
+    lines = []
+    for label, entries in rows:
+        canvas = [" "] * width
+        for t in entries:
+            a = min(width - 1, int(t.start * scale))
+            b = min(width, max(a + 1, int(t.finish * scale)))
+            ch = stream_char if t.streamed else busy_char
+            for x in range(a, b):
+                canvas[x] = ch
+            tag = str(t.task)
+            mid = max(a, min((a + b) // 2 - len(tag) // 2, width - len(tag)))
+            for j, c in enumerate(tag):
+                canvas[mid + j] = c
+        lines.append(f"{label:>{label_w}s} |{''.join(canvas)}|")
+    lines.append(
+        f"{'':>{label_w}s}  0{'':{width - 10}}{trace.makespan * 1e3:8.1f} ms"
+    )
+    return "\n".join(lines)

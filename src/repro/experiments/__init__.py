@@ -1,0 +1,45 @@
+"""Experiment harness: one driver per figure/table of the paper's evaluation.
+
+Run any driver from the command line, e.g.::
+
+    python -m repro.experiments.fig4 --scale smoke
+    python -m repro.experiments.table1 --scale small --csv
+
+Driver modules (`fig3` .. `fig7`, `table1`) are imported lazily on first
+attribute access so that ``python -m repro.experiments.figN`` works without
+double-import warnings.  See :mod:`repro.experiments.config` for scales.
+"""
+
+import importlib
+
+from .config import SCALES, ScaleConfig, bench_scale, get_scale
+from .metrics import AggregateStats, aggregate, positive_improvement
+from .reporting import format_sweep_table, print_sweep, write_csv
+from .runner import PointResult, SweepResult, SweepSeries, run_point, run_sweep
+
+_DRIVERS = ("fig3", "fig4", "fig5", "fig6", "fig7", "table1", "ablation", "scaling", "baselines")
+
+__all__ = [
+    *_DRIVERS,
+    "SCALES",
+    "ScaleConfig",
+    "bench_scale",
+    "get_scale",
+    "AggregateStats",
+    "aggregate",
+    "positive_improvement",
+    "format_sweep_table",
+    "print_sweep",
+    "write_csv",
+    "PointResult",
+    "SweepResult",
+    "SweepSeries",
+    "run_point",
+    "run_sweep",
+]
+
+
+def __getattr__(name):
+    if name in _DRIVERS:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,41 @@
+"""Shared CLI plumbing for the figure drivers (``python -m repro.experiments.figN``)."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from .reporting import print_sweep, write_csv
+from .runner import SweepResult
+
+__all__ = ["run_cli"]
+
+
+def run_cli(
+    description: str,
+    run: Callable[..., SweepResult],
+    *,
+    default_seed: int,
+    time_unit: str = "ms",
+) -> None:
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--scale",
+        default="smoke",
+        choices=["smoke", "small", "paper"],
+        help="experiment scale (see repro.experiments.config)",
+    )
+    parser.add_argument("--seed", type=int, default=default_seed)
+    parser.add_argument(
+        "--csv", action="store_true", help="also write a CSV into ./results/"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress lines"
+    )
+    args = parser.parse_args()
+    progress = None if args.quiet else (lambda msg: print(f"  [{msg}]"))
+    result = run(scale=args.scale, seed=args.seed, progress=progress)
+    print_sweep(result, time_unit=time_unit)
+    if args.csv:
+        path = write_csv(result)
+        print(f"csv written to {path}")

@@ -1,0 +1,55 @@
+"""Evaluation metrics (paper Sec. IV-A).
+
+The central metric is the *average positive relative improvement*:
+
+    "we generally compute the average positive relative improvement of the
+    makespan, i.e., the average relative improvement over a pure CPU
+    mapping, whereas we count deteriorations as zero improvements."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["positive_improvement", "AggregateStats", "aggregate"]
+
+
+def positive_improvement(cpu_makespan: float, makespan: float) -> float:
+    """Relative improvement over the CPU baseline, truncated at zero."""
+    if not np.isfinite(makespan) or makespan >= cpu_makespan:
+        return 0.0
+    return float((cpu_makespan - makespan) / cpu_makespan)
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Aggregated metric over a set of graphs."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+    #: fraction of graphs with a strictly positive improvement
+    hit_rate: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} (±{self.std:.3f}, hit {self.hit_rate:.0%})"
+
+
+def aggregate(values: Sequence[float]) -> AggregateStats:
+    """Aggregate per-graph improvements into summary statistics."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return AggregateStats(0.0, 0.0, 0.0, 0.0, 0, 0.0)
+    return AggregateStats(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+        hit_rate=float((arr > 0).mean()),
+    )

@@ -1,0 +1,99 @@
+"""Plain-text and CSV reporting of sweep results.
+
+Every figure driver prints the same rows/series the paper plots, as
+fixed-width text tables (the reproduction's "figures"), and can dump CSV for
+external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Optional, Sequence, TextIO
+
+from .runner import SweepResult
+
+__all__ = ["format_sweep_table", "print_sweep", "write_csv", "results_dir"]
+
+
+def results_dir() -> str:
+    """Directory for CSV output (created on demand)."""
+    path = os.environ.get("REPRO_RESULTS_DIR", os.path.join(os.getcwd(), "results"))
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def format_sweep_table(result: SweepResult, *, time_unit: str = "ms") -> str:
+    """Render improvements and times of all series as two text tables."""
+    series = result.series()
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[time_unit]
+    lines = [f"== {result.title} =="]
+
+    def table(header: str, getter) -> None:
+        lines.append(f"-- {header} --")
+        names = [s.name for s in series]
+        widths = [max(len(n), 10) for n in names]
+        head = f"{result.x_label:>12s} | " + " | ".join(
+            f"{n:>{w}s}" for n, w in zip(names, widths)
+        )
+        lines.append(head)
+        lines.append("-" * len(head))
+        xs = sorted({x for s in series for x in s.xs})
+        for x in xs:
+            cells = []
+            for s, w in zip(series, widths):
+                try:
+                    i = s.xs.index(x)
+                    cells.append(f"{getter(s, i):>{w}.3f}")
+                except ValueError:
+                    cells.append(" " * (w - 1) + "-")
+            lines.append(f"{x:>12g} | " + " | ".join(cells))
+
+    table("relative improvement", lambda s, i: s.improvement[i])
+    table(
+        f"execution time ({time_unit})", lambda s, i: s.time_s[i] * scale
+    )
+    return "\n".join(lines)
+
+
+def print_sweep(result: SweepResult, *, time_unit: str = "ms") -> None:
+    print(format_sweep_table(result, time_unit=time_unit))
+
+
+def write_csv(
+    result: SweepResult,
+    path: Optional[str] = None,
+    *,
+    fileobj: Optional[TextIO] = None,
+) -> str:
+    """Write the sweep as a long-format CSV; returns the file path."""
+    if fileobj is None:
+        if path is None:
+            fname = result.title.lower().replace(" ", "_").replace("/", "-") + ".csv"
+            path = os.path.join(results_dir(), fname)
+        handle: TextIO = open(path, "w", newline="")
+        close = True
+    else:
+        handle = fileobj
+        close = False
+        path = path or "<stream>"
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [result.x_label, "algorithm", "improvement", "time_s", "hit_rate"]
+        )
+        for point in result.points:
+            for name, stats in point.improvements.items():
+                writer.writerow(
+                    [
+                        point.x,
+                        name,
+                        f"{stats.mean:.6f}",
+                        f"{point.times[name].mean:.6f}",
+                        f"{stats.hit_rate:.3f}",
+                    ]
+                )
+    finally:
+        if close:
+            handle.close()
+    return path

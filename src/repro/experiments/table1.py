@@ -1,0 +1,178 @@
+"""Table I — workflow benchmark families (WfCommons substitute).
+
+Paper setup: the Sukhoroslov-Gorokhovskii benchmark sets (nine families
+derived from WfCommons).  For each set the table reports
+
+- row 1: the average positive relative improvement among all graphs,
+- row 2: the summed execution time over all graphs, where each graph's time
+  is averaged over 10 runs with different (random) parameterizations.
+
+Algorithms: HEFT, PEFT, NSGAII, SNFirstFit, SPFirstFit.  For the ``bwa``
+and ``seismology`` sets no algorithm finds a significant acceleration
+(data-bound / tiny tasks); the paper omits those rows, we keep them for
+verification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..evaluation.evaluator import MappingEvaluator
+from ..graphs.generators import augment_workflow, benchmark_sizes, make_workflow
+from ..mappers import (
+    HeftMapper,
+    NsgaIIMapper,
+    PeftMapper,
+    sn_first_fit,
+    sp_first_fit,
+)
+from ..platform import paper_platform
+from .config import get_scale
+from .reporting import results_dir
+
+__all__ = ["Table1Result", "run", "format_table"]
+
+
+@dataclass
+class Table1Result:
+    """Per-family improvement means and summed execution times."""
+
+    algorithms: List[str]
+    improvement: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    total_time_s: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def families(self) -> List[str]:
+        return list(self.improvement)
+
+
+def run(
+    scale="smoke",
+    *,
+    seed: int = 10,
+    families: Optional[List[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Table1Result:
+    cfg = get_scale(scale)
+    platform = paper_platform()
+    sizes = benchmark_sizes(cfg.table1_sizes_key)
+    if families is not None:
+        sizes = {f: sizes[f] for f in families}
+
+    mappers = [
+        HeftMapper(),
+        PeftMapper(),
+        NsgaIIMapper(generations=cfg.table1_generations),
+        sn_first_fit(),
+        sp_first_fit(),
+    ]
+    result = Table1Result(algorithms=[m.name for m in mappers])
+
+    root = np.random.SeedSequence(seed)
+    for family, family_seed in zip(sorted(sizes), root.spawn(len(sizes))):
+        imps: Dict[str, List[float]] = {m.name: [] for m in mappers}
+        per_graph_time: Dict[str, List[float]] = {m.name: [] for m in mappers}
+        for size, size_seed in zip(sizes[family], family_seed.spawn(len(sizes[family]))):
+            times_this_graph: Dict[str, List[float]] = {m.name: [] for m in mappers}
+            for param_seed in size_seed.spawn(cfg.table1_parameterizations):
+                gen_rng, aug_rng, eval_rng, *mapper_rngs = [
+                    np.random.default_rng(s)
+                    for s in param_seed.spawn(3 + len(mappers))
+                ]
+                g = make_workflow(family, size, gen_rng)
+                augment_workflow(g, aug_rng)
+                evaluator = MappingEvaluator(
+                    g,
+                    platform,
+                    rng=eval_rng,
+                    n_random_schedules=cfg.n_random_schedules,
+                )
+                for mapper, rng in zip(mappers, mapper_rngs):
+                    res = mapper.map(evaluator, rng=rng)
+                    imps[mapper.name].append(
+                        evaluator.relative_improvement(res.mapping)
+                    )
+                    times_this_graph[mapper.name].append(res.elapsed_s)
+            for name, times in times_this_graph.items():
+                per_graph_time[name].append(float(np.mean(times)))
+            if progress is not None:
+                progress(f"table1: {family} size={size} done")
+        result.improvement[family] = {
+            k: float(np.mean(v)) for k, v in imps.items()
+        }
+        result.total_time_s[family] = {
+            k: float(np.sum(v)) for k, v in per_graph_time.items()
+        }
+    return result
+
+
+def format_table(result: Table1Result) -> str:
+    """Paper-style table: improvement row + total-time row per family."""
+    algos = result.algorithms
+    widths = [max(len(a), 10) for a in algos]
+    head = f"{'set':>14s} | " + " | ".join(
+        f"{a:>{w}s}" for a, w in zip(algos, widths)
+    )
+    lines = ["== Table I workflow benchmark sets ==", head, "-" * len(head)]
+    for family in result.families():
+        imp = result.improvement[family]
+        tot = result.total_time_s[family]
+        lines.append(
+            f"{family:>14s} | "
+            + " | ".join(f"{imp[a] * 100:>{w - 2}.0f} %" for a, w in zip(algos, widths))
+        )
+        lines.append(
+            f"{'':>14s} | "
+            + " | ".join(_fmt_time(tot[a], w) for a, w in zip(algos, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt_time(seconds: float, width: int) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:>{width - 2}.1f} s"
+    return f"{seconds * 1e3:>{width - 3}.0f} ms"
+
+
+def write_csv(result: Table1Result, path: Optional[str] = None) -> str:
+    if path is None:
+        path = os.path.join(results_dir(), "table1.csv")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["family", "algorithm", "improvement", "total_time_s"])
+        for family in result.families():
+            for a in result.algorithms:
+                writer.writerow(
+                    [
+                        family,
+                        a,
+                        f"{result.improvement[family][a]:.6f}",
+                        f"{result.total_time_s[family][a]:.6f}",
+                    ]
+                )
+    return path
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description="Reproduce paper Table I")
+    parser.add_argument(
+        "--scale", default="smoke", choices=["smoke", "small", "paper"]
+    )
+    parser.add_argument("--seed", type=int, default=10)
+    parser.add_argument("--families", nargs="*", default=None)
+    parser.add_argument("--csv", action="store_true")
+    args = parser.parse_args()
+    table = run(
+        scale=args.scale,
+        seed=args.seed,
+        families=args.families,
+        progress=lambda msg: print(f"  [{msg}]"),
+    )
+    print(format_table(table))
+    if args.csv:
+        print(f"csv written to {write_csv(table)}")

@@ -1,0 +1,16 @@
+"""Task-graph substrate: graph type, metrics, augmentation and generators."""
+
+from .augment import AugmentConfig, augment
+from .properties import GraphStats, graph_stats
+from .taskgraph import DEFAULT_DATA_MB, GraphError, TaskGraph, TaskParams
+
+__all__ = [
+    "AugmentConfig",
+    "augment",
+    "GraphStats",
+    "graph_stats",
+    "DEFAULT_DATA_MB",
+    "GraphError",
+    "TaskGraph",
+    "TaskParams",
+]

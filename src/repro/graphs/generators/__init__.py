@@ -1,0 +1,31 @@
+"""Task-graph generators: random SP, almost-SP, layered, and workflows."""
+
+from .almost_sp import add_random_edges, random_almost_sp_graph
+from .fig_examples import fig1_graph, fig2_graph
+from .layered import random_layered_graph
+from .sp_random import random_sp_edges, random_sp_graph
+from .stages import random_forkjoin_graph, random_pipeline_graph
+from .workflows import (
+    WORKFLOW_FAMILIES,
+    augment_workflow,
+    benchmark_set,
+    benchmark_sizes,
+    make_workflow,
+)
+
+__all__ = [
+    "add_random_edges",
+    "fig1_graph",
+    "fig2_graph",
+    "random_almost_sp_graph",
+    "random_layered_graph",
+    "random_sp_edges",
+    "random_sp_graph",
+    "random_forkjoin_graph",
+    "random_pipeline_graph",
+    "WORKFLOW_FAMILIES",
+    "augment_workflow",
+    "benchmark_set",
+    "benchmark_sizes",
+    "make_workflow",
+]

@@ -1,0 +1,91 @@
+"""Almost-series-parallel DAG generator (paper Sec. IV-C).
+
+"We generate almost series-parallel graphs by generating a series-parallel
+graph with the desired number of nodes and randomly inserting k new edges,
+which are directed according to a random topological order.  Since in a
+series-parallel graph there can only be a linear number of non-conflicting
+edges, most of the newly generated edges will be conflicting."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..augment import AugmentConfig, augment
+from ..taskgraph import DEFAULT_DATA_MB, TaskGraph
+from .sp_random import random_sp_graph
+
+__all__ = ["random_almost_sp_graph", "add_random_edges"]
+
+
+def add_random_edges(
+    g: TaskGraph,
+    k: int,
+    rng: np.random.Generator,
+    *,
+    data_mb: float = DEFAULT_DATA_MB,
+    max_attempts_factor: int = 50,
+) -> int:
+    """Insert up to ``k`` random edges directed along a random topological order.
+
+    Edges are sampled uniformly over ordered node pairs ``(i, j)`` with ``i``
+    before ``j`` in a randomly chosen topological order of ``g``; existing
+    edges are skipped.  Returns the number of edges actually inserted (it can
+    fall short of ``k`` only on very dense graphs).
+    """
+    order = g.topological_order()
+    # Randomise among valid topological orders by shuffling and re-sorting
+    # stably by depth: a cheap way to obtain a *random* topological order is
+    # Kahn's algorithm with random tie-breaking.
+    order = _random_topological_order(g, rng)
+    pos = {t: i for i, t in enumerate(order)}
+    n = len(order)
+    inserted = 0
+    attempts = 0
+    max_attempts = max_attempts_factor * max(k, 1)
+    while inserted < k and attempts < max_attempts:
+        attempts += 1
+        i = int(rng.integers(n))
+        j = int(rng.integers(n))
+        if i == j:
+            continue
+        u, v = order[min(i, j)], order[max(i, j)]
+        if g.has_edge(u, v):
+            continue
+        g.add_edge(u, v, data_mb=data_mb)
+        inserted += 1
+    return inserted
+
+
+def _random_topological_order(g: TaskGraph, rng: np.random.Generator):
+    indeg = {t: g.in_degree(t) for t in g.tasks()}
+    ready = [t for t in g.tasks() if indeg[t] == 0]
+    order = []
+    while ready:
+        idx = int(rng.integers(len(ready)))
+        t = ready.pop(idx)
+        order.append(t)
+        for s in g.successors(t):
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    return order
+
+
+def random_almost_sp_graph(
+    n_tasks: int,
+    extra_edges: int,
+    rng: np.random.Generator,
+    *,
+    augment_config: Optional[AugmentConfig] = None,
+    augmented: bool = True,
+) -> TaskGraph:
+    """Random SP graph with ``extra_edges`` additional (mostly conflicting) edges."""
+    g = random_sp_graph(n_tasks, rng, augmented=False)
+    cfg = augment_config or AugmentConfig()
+    add_random_edges(g, extra_edges, rng, data_mb=cfg.data_mb)
+    if augmented:
+        augment(g, rng, cfg)
+    return g

@@ -1,0 +1,30 @@
+"""The paper's running examples as ready-made graphs.
+
+Useful for anyone following along with the paper: Fig. 1's series-parallel
+graph (whose decomposition tree and candidate set the paper derives) and
+Fig. 2's non-series-parallel graph (which exercises Algorithm 1's cut
+step).
+"""
+
+from __future__ import annotations
+
+from ..taskgraph import TaskGraph
+
+__all__ = ["fig1_graph", "fig2_graph"]
+
+
+def fig1_graph() -> TaskGraph:
+    """Paper Fig. 1: series-parallel, decomposes into
+    ``P(0-5){ S[0-1, P(1-3){[1-3], S[1-2, 2-3]}, 3-5], S[0-4, 4-5] }``."""
+    return TaskGraph.from_edges(
+        [(0, 1), (1, 3), (1, 2), (2, 3), (3, 5), (0, 4), (4, 5)]
+    )
+
+
+def fig2_graph() -> TaskGraph:
+    """Paper Fig. 2: *not* series-parallel — the branch ``1-5`` is blocked
+    by edge ``4-5`` and the branch ``1-4`` by edge ``0-4``, so Algorithm 1
+    must cut one of them."""
+    return TaskGraph.from_edges(
+        [(0, 1), (0, 4), (1, 2), (2, 3), (1, 3), (3, 5), (1, 4), (4, 5)]
+    )

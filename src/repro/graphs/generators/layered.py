@@ -1,0 +1,58 @@
+"""Generic layered random DAG generator.
+
+Not used by the paper's experiments directly, but handy as a stress input for
+the decomposition forest (Alg. 1 must work on *arbitrary* DAGs) and for
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..augment import AugmentConfig, augment
+from ..taskgraph import DEFAULT_DATA_MB, TaskGraph
+
+__all__ = ["random_layered_graph"]
+
+
+def random_layered_graph(
+    n_layers: int,
+    width: int,
+    rng: np.random.Generator,
+    *,
+    edge_prob: float = 0.35,
+    augmented: bool = True,
+    augment_config: Optional[AugmentConfig] = None,
+) -> TaskGraph:
+    """Random DAG with ``n_layers`` layers of up to ``width`` tasks.
+
+    Each task in layer ``l`` gets at least one predecessor in layer ``l-1``
+    (so the graph is connected along layers) plus random extra edges with
+    probability ``edge_prob``.
+    """
+    if n_layers < 1 or width < 1:
+        raise ValueError("n_layers and width must be positive")
+    g = TaskGraph()
+    layers = []
+    tid = 0
+    for _ in range(n_layers):
+        w = int(rng.integers(1, width + 1))
+        layer = list(range(tid, tid + w))
+        for t in layer:
+            g.add_task(t)
+        tid += w
+        layers.append(layer)
+    for l in range(1, n_layers):
+        prev, cur = layers[l - 1], layers[l]
+        for v in cur:
+            u = prev[int(rng.integers(len(prev)))]
+            g.add_edge(u, v, data_mb=DEFAULT_DATA_MB)
+        for u in prev:
+            for v in cur:
+                if not g.has_edge(u, v) and rng.random() < edge_prob:
+                    g.add_edge(u, v, data_mb=DEFAULT_DATA_MB)
+    if augmented:
+        augment(g, rng, augment_config)
+    return g

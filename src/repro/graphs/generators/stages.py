@@ -1,0 +1,104 @@
+"""Stage-structured random DAGs: fork-join sequences and pipelines.
+
+Complements the paper's generators with two structured families common in
+the scheduling literature (daggen-style):
+
+- :func:`random_forkjoin_graph` — a sequence of fork-join *stages*: each
+  stage forks into a random number of parallel tasks that join into a
+  synchronization task.  Fork-join graphs are series-parallel by
+  construction, but unlike :func:`~repro.graphs.generators.sp_random.
+  random_sp_graph` their parallelism is bursty and stage-aligned — a
+  distinct stress profile for slot contention.
+- :func:`random_pipeline_graph` — ``width`` parallel chains of ``depth``
+  tasks with optional cross-links between neighbouring chains; with
+  ``cross_prob = 0`` it is the FPGA streaming sweet spot, and every
+  cross-link is a conflicting edge for the decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..augment import AugmentConfig, augment
+from ..taskgraph import DEFAULT_DATA_MB, TaskGraph
+
+__all__ = ["random_forkjoin_graph", "random_pipeline_graph"]
+
+
+def random_forkjoin_graph(
+    n_stages: int,
+    max_width: int,
+    rng: np.random.Generator,
+    *,
+    augmented: bool = True,
+    augment_config: Optional[AugmentConfig] = None,
+) -> TaskGraph:
+    """A chain of fork-join stages with random widths in [1, max_width]."""
+    if n_stages < 1 or max_width < 1:
+        raise ValueError("n_stages and max_width must be positive")
+    g = TaskGraph()
+    tid = 0
+    g.add_task(tid)
+    join = tid
+    tid += 1
+    for _ in range(n_stages):
+        fork = join
+        width = int(rng.integers(1, max_width + 1))
+        members = []
+        for _ in range(width):
+            g.add_task(tid)
+            g.add_edge(fork, tid, data_mb=DEFAULT_DATA_MB)
+            members.append(tid)
+            tid += 1
+        g.add_task(tid)
+        for t in members:
+            g.add_edge(t, tid, data_mb=DEFAULT_DATA_MB)
+        join = tid
+        tid += 1
+    if augmented:
+        augment(g, rng, augment_config)
+    return g
+
+
+def random_pipeline_graph(
+    width: int,
+    depth: int,
+    rng: np.random.Generator,
+    *,
+    cross_prob: float = 0.0,
+    augmented: bool = True,
+    augment_config: Optional[AugmentConfig] = None,
+) -> TaskGraph:
+    """``width`` parallel chains of ``depth`` tasks with optional cross-links.
+
+    Cross-links go from chain ``i`` position ``j`` to chain ``i+1`` position
+    ``j+1`` with probability ``cross_prob`` (keeping the graph acyclic);
+    each one is a conflicting edge for the SP decomposition.
+    """
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must be positive")
+    if not 0.0 <= cross_prob <= 1.0:
+        raise ValueError("cross_prob must be in [0, 1]")
+    g = TaskGraph()
+    source = 0
+    g.add_task(source)
+    sink = width * depth + 1
+    ids = [[1 + c * depth + p for p in range(depth)] for c in range(width)]
+    for chain in ids:
+        prev = source
+        for t in chain:
+            g.add_task(t)
+            g.add_edge(prev, t, data_mb=DEFAULT_DATA_MB)
+            prev = t
+        g.add_task(sink)
+        g.add_edge(prev, sink, data_mb=DEFAULT_DATA_MB)
+    for c in range(width - 1):
+        for p in range(depth - 1):
+            if rng.random() < cross_prob:
+                g.add_edge(ids[c][p], ids[c + 1][p + 1],
+                           data_mb=DEFAULT_DATA_MB)
+    if augmented:
+        augment(g, rng, augment_config)
+    return g

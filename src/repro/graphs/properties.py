@@ -1,0 +1,67 @@
+"""Structural metrics for task graphs.
+
+These are used by the experiment drivers for reporting and by the test suite
+to validate generator output (e.g. the random series-parallel generator must
+produce graphs whose density stays linear).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .taskgraph import TaskGraph
+
+__all__ = ["GraphStats", "graph_stats", "edge_density", "max_width"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a task graph."""
+
+    n_tasks: int
+    n_edges: int
+    depth: int          # longest path, in edges
+    width: int          # largest BFS level
+    n_sources: int
+    n_sinks: int
+    density: float      # edges / tasks
+    avg_in_degree: float
+    total_data_mb: float
+
+
+def edge_density(g: TaskGraph) -> float:
+    """Edges per task; series-parallel graphs are guaranteed < 2."""
+    return g.n_edges / max(1, g.n_tasks)
+
+
+def max_width(g: TaskGraph) -> int:
+    """Size of the largest breadth-first level (graph parallelism)."""
+    levels = g.bfs_levels()
+    return max((len(lvl) for lvl in levels), default=0)
+
+
+def graph_stats(g: TaskGraph) -> GraphStats:
+    """Compute all summary statistics in one pass."""
+    total_data = sum(g.data_mb(u, v) for u, v in g.edges())
+    n = max(1, g.n_tasks)
+    return GraphStats(
+        n_tasks=g.n_tasks,
+        n_edges=g.n_edges,
+        depth=g.longest_path_length(),
+        width=max_width(g),
+        n_sources=len(g.sources()),
+        n_sinks=len(g.sinks()),
+        density=g.n_edges / n,
+        avg_in_degree=g.n_edges / n,
+        total_data_mb=total_data,
+    )
+
+
+def degree_histogram(g: TaskGraph) -> Dict[int, int]:
+    """Histogram of total degrees (in + out)."""
+    hist: Dict[int, int] = {}
+    for t in g.tasks():
+        d = g.in_degree(t) + g.out_degree(t)
+        hist[d] = hist.get(d, 0) + 1
+    return dict(sorted(hist.items()))

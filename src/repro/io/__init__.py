@@ -1,0 +1,35 @@
+"""Serialization: JSON graphs/platforms/mappings, WfCommons import, DOT export."""
+
+from .dot import forest_to_dot, graph_to_dot
+from .json_io import (
+    FormatError,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    load_platform,
+    mapping_from_dict,
+    mapping_to_dict,
+    platform_from_dict,
+    platform_to_dict,
+    save_graph,
+    save_platform,
+)
+from .wfcommons import load_wfcommons, wfcommons_from_dict
+
+__all__ = [
+    "forest_to_dot",
+    "graph_to_dot",
+    "FormatError",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "load_platform",
+    "mapping_from_dict",
+    "mapping_to_dict",
+    "platform_from_dict",
+    "platform_to_dict",
+    "save_graph",
+    "save_platform",
+    "load_wfcommons",
+    "wfcommons_from_dict",
+]

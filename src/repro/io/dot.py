@@ -1,0 +1,77 @@
+"""Graphviz DOT export for task graphs, mappings and decomposition forests.
+
+Produces plain DOT text (no graphviz dependency); render externally with
+``dot -Tpdf graph.dot -o graph.pdf``.  A mapping can be overlaid as node
+colors, and a decomposition forest as clustered subgraphs — handy to *see*
+which subgraphs Algorithm 1 found and where the mapper put them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..graphs.taskgraph import TaskGraph
+from ..platform.platform import Platform
+from ..sp.forest import DecompositionForest
+
+__all__ = ["graph_to_dot", "forest_to_dot"]
+
+#: default fill colors per device index
+_DEVICE_COLORS = [
+    "#cccccc",  # host CPU: grey
+    "#88c0f0",  # GPU: blue
+    "#f2b06b",  # FPGA: orange
+    "#a8d8a8",
+    "#e8a0e8",
+]
+
+
+def graph_to_dot(
+    g: TaskGraph,
+    *,
+    mapping: Optional[Sequence[int]] = None,
+    platform: Optional[Platform] = None,
+    name: str = "taskgraph",
+) -> str:
+    """Render a task graph (optionally colored by mapping) as DOT text."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=ellipse];"]
+    device_names = (
+        [d.name for d in platform.devices] if platform is not None else None
+    )
+    index = {t: i for i, t in enumerate(g.tasks())}
+    for t in g.tasks():
+        p = g.params(t)
+        label = f"{t}\\nc={p.complexity:.1f}"
+        attrs = [f'label="{label}"']
+        if mapping is not None:
+            d = int(mapping[index[t]])
+            color = _DEVICE_COLORS[d % len(_DEVICE_COLORS)]
+            attrs.append(f'style=filled fillcolor="{color}"')
+            if device_names is not None:
+                attrs[0] = f'label="{label}\\n{device_names[d]}"'
+        lines.append(f"  t{t} [{' '.join(attrs)}];")
+    for u, v in g.edges():
+        lines.append(f'  t{u} -> t{v} [label="{g.data_mb(u, v):.0f}MB"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def forest_to_dot(
+    g: TaskGraph, forest: DecompositionForest, *, name: str = "forest"
+) -> str:
+    """Render the decomposition forest as DOT clusters over the graph."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  compound=true;"]
+    real = set(g.tasks())
+    for k, tree in enumerate(forest.trees):
+        nodes = sorted(n for n in tree.nodes() if n in real)
+        title = "core" if k == 0 else f"cut {k}"
+        lines.append(f"  subgraph cluster_{k} {{")
+        lines.append(f'    label="{title} [{tree.source} - {tree.sink}]";')
+        lines.append("    color=gray;")
+        for n in nodes:
+            lines.append(f"    t{n};")
+        lines.append("  }")
+    for u, v in g.edges():
+        lines.append(f"  t{u} -> t{v};")
+    lines.append("}")
+    return "\n".join(lines)

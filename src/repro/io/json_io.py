@@ -1,0 +1,228 @@
+"""JSON serialization for task graphs, platforms and mapping results.
+
+The on-disk format is a plain versioned JSON document, so experiments can be
+archived and replayed, and graphs can be exchanged with external tools:
+
+.. code-block:: json
+
+    {
+      "format": "repro-taskgraph",
+      "version": 1,
+      "tasks": [{"id": 0, "complexity": 7.4, "parallelizability": 1.0,
+                 "streamability": 7.4, "area": 7.4}],
+      "edges": [{"src": 0, "dst": 1, "data_mb": 100.0}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..graphs.taskgraph import TaskGraph
+from ..platform.device import Device, DeviceKind
+from ..platform.platform import Platform
+
+__all__ = [
+    "FormatError",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "platform_to_dict",
+    "platform_from_dict",
+    "save_platform",
+    "load_platform",
+    "mapping_to_dict",
+    "mapping_from_dict",
+]
+
+GRAPH_FORMAT = "repro-taskgraph"
+PLATFORM_FORMAT = "repro-platform"
+MAPPING_FORMAT = "repro-mapping"
+VERSION = 1
+
+
+class FormatError(ValueError):
+    """Raised for documents with the wrong format marker or broken shape."""
+
+
+def _check_header(doc: Dict, expected: str) -> None:
+    if not isinstance(doc, dict):
+        raise FormatError(f"expected a JSON object, got {type(doc).__name__}")
+    if doc.get("format") != expected:
+        raise FormatError(
+            f"expected format {expected!r}, got {doc.get('format')!r}"
+        )
+    if int(doc.get("version", -1)) > VERSION:
+        raise FormatError(f"unsupported version {doc.get('version')}")
+
+
+# ---------------------------------------------------------------------------
+# task graphs
+# ---------------------------------------------------------------------------
+
+def graph_to_dict(g: TaskGraph) -> Dict:
+    """Serializable dict representation of a task graph."""
+    return {
+        "format": GRAPH_FORMAT,
+        "version": VERSION,
+        "tasks": [
+            {
+                "id": t,
+                "complexity": g.params(t).complexity,
+                "parallelizability": g.params(t).parallelizability,
+                "streamability": g.params(t).streamability,
+                "area": g.params(t).area,
+            }
+            for t in g.tasks()
+        ],
+        "edges": [
+            {"src": u, "dst": v, "data_mb": g.data_mb(u, v)}
+            for u, v in g.edges()
+        ],
+    }
+
+
+def graph_from_dict(doc: Dict) -> TaskGraph:
+    """Rebuild a task graph from its dict representation."""
+    _check_header(doc, GRAPH_FORMAT)
+    g = TaskGraph()
+    for task in doc.get("tasks", []):
+        g.add_task(
+            int(task["id"]),
+            complexity=float(task.get("complexity", 1.0)),
+            parallelizability=float(task.get("parallelizability", 0.0)),
+            streamability=float(task.get("streamability", 1.0)),
+            area=float(task.get("area", 0.0)),
+        )
+    for edge in doc.get("edges", []):
+        g.add_edge(
+            int(edge["src"]),
+            int(edge["dst"]),
+            data_mb=float(edge.get("data_mb", 0.0)),
+        )
+    g.validate()
+    return g
+
+
+def save_graph(g: TaskGraph, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(graph_to_dict(g), fh, indent=2)
+
+
+def load_graph(path: str) -> TaskGraph:
+    with open(path) as fh:
+        return graph_from_dict(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+# platforms
+# ---------------------------------------------------------------------------
+
+def platform_to_dict(p: Platform) -> Dict:
+    bw = p.bandwidth_gbps.copy()
+    bw[~np.isfinite(bw)] = -1.0  # JSON has no Infinity
+    return {
+        "format": PLATFORM_FORMAT,
+        "version": VERSION,
+        "devices": [
+            {
+                "name": d.name,
+                "kind": d.kind.value,
+                "lane_gops": d.lane_gops,
+                "lanes": d.lanes,
+                "stream_gops": d.stream_gops,
+                "setup_s": d.setup_s,
+                "area_capacity": d.area_capacity,
+                "serializes": d.serializes,
+                "streaming": d.streaming,
+                "slots": d.slots,
+                "watts_active": d.watts_active,
+                "watts_idle": d.watts_idle,
+            }
+            for d in p.devices
+        ],
+        "bandwidth_gbps": bw.tolist(),
+        "latency_s": p.latency_s.tolist(),
+    }
+
+
+def platform_from_dict(doc: Dict) -> Platform:
+    _check_header(doc, PLATFORM_FORMAT)
+    devices = []
+    for d in doc["devices"]:
+        devices.append(
+            Device(
+                name=d["name"],
+                kind=DeviceKind(d["kind"]),
+                lane_gops=float(d["lane_gops"]),
+                lanes=int(d.get("lanes", 1)),
+                stream_gops=float(d.get("stream_gops", 0.0)),
+                setup_s=float(d.get("setup_s", 0.0)),
+                area_capacity=d.get("area_capacity"),
+                serializes=bool(d.get("serializes", True)),
+                streaming=bool(d.get("streaming", False)),
+                slots=int(d.get("slots", 1)),
+                watts_active=float(d.get("watts_active", 0.0)),
+                watts_idle=float(d.get("watts_idle", 0.0)),
+            )
+        )
+    bw = np.array(doc["bandwidth_gbps"], dtype=float)
+    bw[bw < 0] = np.inf
+    lat = np.array(doc["latency_s"], dtype=float)
+    return Platform(devices, bw, lat)
+
+
+def save_platform(p: Platform, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(platform_to_dict(p), fh, indent=2)
+
+
+def load_platform(path: str) -> Platform:
+    with open(path) as fh:
+        return platform_from_dict(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+# mappings
+# ---------------------------------------------------------------------------
+
+def mapping_to_dict(
+    g: TaskGraph,
+    p: Platform,
+    mapping: Sequence[int],
+    *,
+    makespan: Optional[float] = None,
+    algorithm: str = "",
+) -> Dict:
+    """Task-id -> device-name mapping document (robust to reordering)."""
+    mapping = list(int(m) for m in mapping)
+    if len(mapping) != g.n_tasks:
+        raise FormatError(
+            f"mapping length {len(mapping)} != {g.n_tasks} tasks"
+        )
+    return {
+        "format": MAPPING_FORMAT,
+        "version": VERSION,
+        "algorithm": algorithm,
+        "makespan_s": makespan,
+        "assignment": {
+            str(t): p.devices[d].name for t, d in zip(g.tasks(), mapping)
+        },
+    }
+
+
+def mapping_from_dict(doc: Dict, g: TaskGraph, p: Platform) -> np.ndarray:
+    """Rebuild a device-index mapping array aligned with ``g.tasks()``."""
+    _check_header(doc, MAPPING_FORMAT)
+    assignment = doc["assignment"]
+    out = np.zeros(g.n_tasks, dtype=np.int64)
+    for i, t in enumerate(g.tasks()):
+        key = str(t)
+        if key not in assignment:
+            raise FormatError(f"mapping misses task {t}")
+        out[i] = p.index_of(assignment[key])
+    return out

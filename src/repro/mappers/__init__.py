@@ -1,0 +1,52 @@
+"""Static task-mapping algorithms.
+
+The paper's own contribution (decomposition mappers) plus every baseline of
+the evaluation: HEFT, PEFT, single-objective NSGA-II and three MILPs.
+"""
+
+from .base import Mapper, MappingResult
+from .cpop import CpopMapper
+from .decomposition import (
+    DecompositionMapper,
+    series_parallel,
+    single_node,
+    sn_first_fit,
+    sp_first_fit,
+)
+from .annealing import SimulatedAnnealingMapper
+from .genetic import NsgaIIMapper
+from .heft import HeftMapper
+from .lookahead import LookaheadHeftMapper
+from .milp import WgdpDeviceMapper, WgdpTimeMapper, ZhouLiuMapper
+from .minmin import MaxMinMapper, MinMinMapper
+from .multiobjective import EnergyAwareDecompositionMapper, ParetoNsgaIIMapper
+from .peft import PeftMapper
+from .tabu import TabuSearchMapper
+from .trivial import AllOnDeviceMapper, BestRandomMapper, RandomMapper
+
+__all__ = [
+    "Mapper",
+    "MappingResult",
+    "CpopMapper",
+    "MaxMinMapper",
+    "MinMinMapper",
+    "TabuSearchMapper",
+    "DecompositionMapper",
+    "series_parallel",
+    "single_node",
+    "sn_first_fit",
+    "sp_first_fit",
+    "NsgaIIMapper",
+    "SimulatedAnnealingMapper",
+    "LookaheadHeftMapper",
+    "HeftMapper",
+    "WgdpDeviceMapper",
+    "WgdpTimeMapper",
+    "ZhouLiuMapper",
+    "EnergyAwareDecompositionMapper",
+    "ParetoNsgaIIMapper",
+    "PeftMapper",
+    "AllOnDeviceMapper",
+    "BestRandomMapper",
+    "RandomMapper",
+]

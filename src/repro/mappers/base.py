@@ -1,0 +1,85 @@
+"""Mapper interface.
+
+A *mapping* assigns every task (by index into ``graph.tasks()``) a device
+(by index into ``platform.devices``), represented as an ``int64`` numpy
+array.  Every mapping algorithm in this package derives from
+:class:`Mapper` and returns a :class:`MappingResult` carrying the mapping
+plus construction statistics (evaluation counts, iterations) used by the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..evaluation.evaluator import MappingEvaluator
+
+__all__ = ["Mapper", "MappingResult"]
+
+
+@dataclass
+class MappingResult:
+    """Outcome of one mapping run."""
+
+    mapping: np.ndarray
+    #: construction (BFS-schedule) makespan of the final mapping
+    makespan: float
+    #: wall-clock seconds spent inside the mapper
+    elapsed_s: float
+    #: number of cost-model simulations performed by the mapper
+    n_evaluations: int = 0
+    #: algorithm-specific counters (iterations, generations, MILP status ...)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+class Mapper(abc.ABC):
+    """Base class for static task-mapping algorithms.
+
+    Subclasses implement :meth:`_run`; :meth:`map` adds timing and
+    evaluation-count bookkeeping around it.
+    """
+
+    #: short name used in experiment tables (defaults to the class name)
+    name: str = ""
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+
+    def map(
+        self,
+        evaluator: MappingEvaluator,
+        rng: Optional[np.random.Generator] = None,
+    ) -> MappingResult:
+        """Compute a mapping for the evaluator's graph/platform."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        evals_before = evaluator.n_evaluations
+        t0 = time.perf_counter()
+        mapping, stats = self._run(evaluator, rng)
+        elapsed = time.perf_counter() - t0
+        mapping = np.asarray(mapping, dtype=np.int64)
+        if mapping.shape != (evaluator.n_tasks,):
+            raise ValueError(
+                f"{self.name}: mapping has shape {mapping.shape}, "
+                f"expected ({evaluator.n_tasks},)"
+            )
+        if mapping.min() < 0 or mapping.max() >= evaluator.n_devices:
+            raise ValueError(f"{self.name}: device index out of range")
+        return MappingResult(
+            mapping=mapping,
+            makespan=evaluator.construction_makespan(mapping),
+            elapsed_s=elapsed,
+            n_evaluations=evaluator.n_evaluations - evals_before,
+            stats=stats,
+        )
+
+    @abc.abstractmethod
+    def _run(
+        self, evaluator: MappingEvaluator, rng: np.random.Generator
+    ) -> tuple:
+        """Return ``(mapping, stats_dict)``."""

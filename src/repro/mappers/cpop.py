@@ -1,0 +1,150 @@
+"""CPOP — Critical Path On a Processor (Topcuoglu et al. [6]).
+
+The companion algorithm to HEFT from the same paper: tasks on the *critical
+path* (maximal ``rank_u + rank_d``) are all pinned to the single processor
+that minimizes the path's total execution time; off-path tasks are scheduled
+like HEFT (insertion-based earliest finish time), processed in decreasing
+``rank_u + rank_d`` priority from a ready queue.
+
+Included as an extension baseline: like HEFT it has a local view plus one
+global decision (the critical-path processor), which makes it an instructive
+middle point between HEFT and the decomposition principle — it effectively
+maps one special "subgraph" (the critical path) as a unit, but chooses it
+statically instead of by model-based search.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..evaluation.evaluator import MappingEvaluator
+from .base import Mapper
+from .heft import DeviceTimelines, mean_comm, mean_exec, upward_ranks
+
+__all__ = ["CpopMapper"]
+
+_INF = float("inf")
+
+
+def downward_ranks(evaluator: MappingEvaluator) -> np.ndarray:
+    """``rank_d(t) = max over preds(rank_d(p) + w_mean(p) + c_mean(p,t))``."""
+    model = evaluator.model
+    w = mean_exec(evaluator)
+    c = mean_comm(evaluator)
+    g = evaluator.graph
+    index = model.index
+    rank = np.zeros(model.n)
+    for t in g.topological_order():
+        i = index[t]
+        best = 0.0
+        for p in g.predecessors(t):
+            j = index[p]
+            val = rank[j] + w[j] + c[(j, i)]
+            if val > best:
+                best = val
+        rank[i] = best
+    return rank
+
+
+class CpopMapper(Mapper):
+    """CPOP list scheduler used as a mapping algorithm."""
+
+    name = "CPOP"
+
+    def _run(
+        self, evaluator: MappingEvaluator, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        model = evaluator.model
+        g = evaluator.graph
+        index = model.index
+        tasks = model.tasks
+        n, m = model.n, model.m
+        exec_table = model.exec_table
+
+        rank_u = upward_ranks(evaluator)
+        rank_d = downward_ranks(evaluator)
+        priority = rank_u + rank_d
+        cp_value = priority.max()
+
+        # critical path: walk from the entry task along max-priority children
+        on_cp = np.zeros(n, dtype=bool)
+        eps = 1e-9 * max(cp_value, 1.0)
+        entry = [index[t] for t in g.sources()]
+        cur = max(entry, key=lambda i: priority[i])
+        on_cp[cur] = True
+        while True:
+            succs = [index[s] for s in g.successors(tasks[cur])]
+            cp_succs = [j for j in succs if priority[j] >= cp_value - eps]
+            if not cp_succs:
+                break
+            cur = cp_succs[0]
+            on_cp[cur] = True
+
+        # the critical-path processor minimizes the summed execution time,
+        # subject to area feasibility
+        area = model._area  # noqa: SLF001
+        caps = evaluator.platform.area_capacities()
+        cp_area = float(area[on_cp].sum())
+        best_d, best_cost = 0, _INF
+        for d in range(m):
+            if d in caps and cp_area > caps[d] + 1e-9:
+                continue
+            cost = float(exec_table[on_cp, d].sum())
+            if cost < best_cost:
+                best_cost = cost
+                best_d = d
+        cp_processor = best_d
+
+        timelines = DeviceTimelines(evaluator)
+        mapping = np.zeros(n, dtype=np.int64)
+        aft = np.zeros(n)
+        indeg = {t: g.in_degree(t) for t in g.tasks()}
+        ready = [(-priority[index[t]], index[t]) for t in g.tasks()
+                 if indeg[t] == 0]
+        heapq.heapify(ready)
+
+        def eft_on(i: int, d: int) -> Tuple[float, int, float]:
+            if not timelines.area_allows(i, d):
+                return _INF, -1, _INF
+            r = model._initial[i][d]  # noqa: SLF001
+            for p, trans in model._pred[i]:  # noqa: SLF001
+                v = aft[p] + trans[mapping[p]][d]
+                if v > r:
+                    r = v
+            duration = exec_table[i, d]
+            start, slot = timelines.earliest_start(d, r, duration)
+            return start + duration, slot, start
+
+        while ready:
+            _, i = heapq.heappop(ready)
+            if on_cp[i]:
+                eft, slot, start = eft_on(i, cp_processor)
+                d = cp_processor
+                if not np.isfinite(eft):
+                    d = 0
+                    eft, slot, start = eft_on(i, 0)
+            else:
+                best = (_INF, 0, -1, 0.0)
+                for d_try in range(m):
+                    eft, slot, start = eft_on(i, d_try)
+                    if eft < best[0] - 1e-15:
+                        best = (eft, d_try, slot, start)
+                eft, d, slot, start = best
+                if not np.isfinite(eft):  # pragma: no cover - area exhausted
+                    d = 0
+                    eft, slot, start = eft_on(i, 0)
+            mapping[i] = d
+            aft[i] = eft
+            timelines.commit(i, d, slot, start, eft)
+            for s in g.successors(tasks[i]):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    heapq.heappush(ready, (-priority[index[s]], index[s]))
+        return mapping, {
+            "schedule_length": float(aft.max(initial=0.0)),
+            "cp_processor": float(cp_processor),
+            "cp_tasks": float(on_cp.sum()),
+        }

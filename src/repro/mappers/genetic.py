@@ -1,0 +1,129 @@
+"""Single-objective NSGA-II genetic mapper (paper Sec. IV-A, ``NSGAII``).
+
+The paper uses "a single objective variant of the NSGA-II algorithm [14]"
+with:
+
+- a genome holding one gene (device index) per task, in topologically
+  sorted task order;
+- single-point crossover with 90 % crossover rate;
+- per-gene mutation rate ``1/n``;
+- a population of 100 individuals;
+- a repair function after variation to keep mappings feasible (FPGA area);
+- 500 generations unless stated otherwise;
+- the *same model-based evaluation function* as the decomposition mappers
+  ("in order to ensure fairness").
+
+With a single objective, NSGA-II's non-dominated sorting degenerates to
+sorting by fitness, so the algorithm is the classic elitist (mu + lambda)
+GA with binary tournament selection.  The all-CPU individual is seeded into
+the initial population, so the final result never loses to the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..evaluation.evaluator import MappingEvaluator
+from .base import Mapper
+
+__all__ = ["NsgaIIMapper"]
+
+
+class NsgaIIMapper(Mapper):
+    """Single-objective NSGA-II (see module docstring)."""
+
+    name = "NSGAII"
+
+    def __init__(
+        self,
+        *,
+        generations: int = 500,
+        population_size: int = 100,
+        crossover_rate: float = 0.9,
+        mutation_rate: Optional[float] = None,
+        seed_cpu_individual: bool = True,
+    ) -> None:
+        if generations < 1 or population_size < 2:
+            raise ValueError("need at least 1 generation and 2 individuals")
+        self.generations = generations
+        self.population_size = population_size
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.seed_cpu_individual = seed_cpu_individual
+        super().__init__()
+
+    # ------------------------------------------------------------------
+    def _repair(self, pop: np.ndarray, evaluator: MappingEvaluator,
+                rng: np.random.Generator) -> None:
+        """Move tasks off over-committed area devices until feasible (in place)."""
+        model = evaluator.model
+        area = model._area  # noqa: SLF001 - package-internal
+        host = evaluator.platform.host_index
+        for d, capacity in evaluator.platform.area_capacities().items():
+            usage = (pop == d) @ area
+            for r in np.nonzero(usage > capacity)[0]:
+                genome = pop[r]
+                on_dev = np.nonzero(genome == d)[0]
+                order = rng.permutation(on_dev)
+                used = float(area[on_dev].sum())
+                for g in order:
+                    if used <= capacity:
+                        break
+                    genome[g] = host
+                    used -= area[g]
+
+    # ------------------------------------------------------------------
+    def _run(
+        self, evaluator: MappingEvaluator, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        n = evaluator.n_tasks
+        m = evaluator.n_devices
+        pop_size = self.population_size
+        p_mut = self.mutation_rate if self.mutation_rate is not None else 1.0 / n
+
+        pop = rng.integers(0, m, size=(pop_size, n), dtype=np.int64)
+        if self.seed_cpu_individual:
+            pop[0] = evaluator.platform.host_index
+        self._repair(pop, evaluator, rng)
+        fitness = np.array(
+            [evaluator.construction_makespan(ind) for ind in pop]
+        )
+
+        for _ in range(self.generations):
+            # binary tournament selection of parents
+            a = rng.integers(0, pop_size, size=pop_size)
+            b = rng.integers(0, pop_size, size=pop_size)
+            parents = np.where(fitness[a] <= fitness[b], a, b)
+
+            children = pop[parents].copy()
+            # single-point crossover on consecutive parent pairs
+            for i in range(0, pop_size - 1, 2):
+                if rng.random() < self.crossover_rate and n > 1:
+                    cut = int(rng.integers(1, n))
+                    tail = children[i, cut:].copy()
+                    children[i, cut:] = children[i + 1, cut:]
+                    children[i + 1, cut:] = tail
+            # per-gene mutation
+            mask = rng.random(size=children.shape) < p_mut
+            if mask.any():
+                children[mask] = rng.integers(0, m, size=int(mask.sum()))
+            self._repair(children, evaluator, rng)
+
+            child_fitness = np.array(
+                [evaluator.construction_makespan(ind) for ind in children]
+            )
+            # (mu + lambda) elitism == single-objective NSGA-II survival
+            combined = np.vstack([pop, children])
+            combined_fit = np.concatenate([fitness, child_fitness])
+            keep = np.argsort(combined_fit, kind="stable")[:pop_size]
+            pop = combined[keep]
+            fitness = combined_fit[keep]
+
+        best = int(np.argmin(fitness))
+        stats = {
+            "generations": float(self.generations),
+            "best_makespan": float(fitness[best]),
+        }
+        return pop[best].copy(), stats

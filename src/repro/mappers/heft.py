@@ -1,0 +1,207 @@
+"""HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al. [6]).
+
+The classic list-scheduling baseline of the paper's evaluation:
+
+1. *upward ranks*: ``rank_u(t) = w_mean(t) + max_succ(c_mean(t,s) +
+   rank_u(s))`` where ``w_mean`` is the device-averaged execution time and
+   ``c_mean`` the device-pair-averaged transfer time;
+2. tasks are scheduled in decreasing ``rank_u`` order, each on the device
+   minimizing its earliest finish time (EFT) with *insertion-based* slot
+   scheduling.
+
+Device timelines honour the platform's concurrency model: each slot of a
+serializing device is a separate timeline; the FPGA does not queue at all but
+its remaining area is tracked — a placement that would overflow the area gets
+``EFT = inf``.  Per the paper's critique, HEFT has no notion of dataflow
+streaming: it sees only the same-device-transfer-is-free effect.  The final
+*mapping* (not HEFT's internal schedule) is evaluated by the shared cost
+model, exactly as in the paper's model-based comparison.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..evaluation.evaluator import MappingEvaluator
+from .base import Mapper
+
+__all__ = ["HeftMapper", "DeviceTimelines", "mean_exec", "mean_comm"]
+
+_INF = float("inf")
+
+
+class DeviceTimelines:
+    """Insertion-based timelines for all devices of a platform.
+
+    Serializing devices expose one timeline per slot; non-serializing
+    (FPGA-like) devices accept any start time but consume area.
+    """
+
+    def __init__(self, evaluator: MappingEvaluator) -> None:
+        platform = evaluator.platform
+        self._slots: List[Optional[List[List[Tuple[float, float]]]]] = []
+        for dev in platform.devices:
+            if dev.serializes:
+                self._slots.append([[] for _ in range(dev.slots)])
+            else:
+                self._slots.append(None)
+        self._area_left: Dict[int, float] = dict(platform.area_capacities())
+        model = evaluator.model
+        self._task_area = model._area  # noqa: SLF001 - package-internal
+        self.exec_table = model.exec_table
+
+    # ------------------------------------------------------------------
+    def area_allows(self, task_idx: int, device: int) -> bool:
+        if device not in self._area_left:
+            return True
+        return self._task_area[task_idx] <= self._area_left[device] + 1e-9
+
+    def earliest_start(self, device: int, ready: float, duration: float) -> Tuple[float, int]:
+        """Earliest start >= ready on ``device``; returns (start, slot)."""
+        slots = self._slots[device]
+        if slots is None:
+            return ready, -1
+        best_start = _INF
+        best_slot = 0
+        for j, intervals in enumerate(slots):
+            st = self._earliest_gap(intervals, ready, duration)
+            if st < best_start:
+                best_start = st
+                best_slot = j
+        return best_start, best_slot
+
+    @staticmethod
+    def _earliest_gap(
+        intervals: List[Tuple[float, float]], ready: float, duration: float
+    ) -> float:
+        """Earliest feasible start in a sorted busy-interval list (insertion)."""
+        t = ready
+        for s, f in intervals:
+            if s - t >= duration:
+                return t
+            if f > t:
+                t = f
+        return t
+
+    def commit(
+        self, task_idx: int, device: int, slot: int, start: float, finish: float
+    ) -> None:
+        slots = self._slots[device]
+        if slots is not None:
+            intervals = slots[slot]
+            bisect.insort(intervals, (start, finish))
+        if device in self._area_left:
+            self._area_left[device] -= self._task_area[task_idx]
+
+    def clone(self) -> "DeviceTimelines":
+        """Cheap copy for tentative scheduling (lookahead): copies only the
+        mutable timeline/area state, shares the read-only tables."""
+        other = object.__new__(DeviceTimelines)
+        other._slots = [
+            None if s is None else [list(iv) for iv in s] for s in self._slots
+        ]
+        other._area_left = dict(self._area_left)
+        other._task_area = self._task_area
+        other.exec_table = self.exec_table
+        return other
+
+
+def mean_exec(evaluator: MappingEvaluator) -> np.ndarray:
+    """Device-averaged execution time per task (HEFT's ``w_mean``)."""
+    return evaluator.model.exec_table.mean(axis=1)
+
+
+def mean_comm(evaluator: MappingEvaluator) -> Dict[Tuple[int, int], float]:
+    """Pair-averaged transfer time per edge (HEFT's ``c_mean``).
+
+    Average over all *distinct* device pairs, as in the HEFT paper (the
+    same-device case is free and excluded from the average).
+    """
+    model = evaluator.model
+    m = model.m
+    out: Dict[Tuple[int, int], float] = {}
+    n_pairs = m * (m - 1)
+    for i in range(model.n):
+        for p, trans in model._pred[i]:  # noqa: SLF001
+            if n_pairs == 0:
+                out[(p, i)] = 0.0
+                continue
+            total = 0.0
+            for du in range(m):
+                for dv in range(m):
+                    if du != dv:
+                        total += trans[du][dv]
+            out[(p, i)] = total / n_pairs
+    return out
+
+
+def upward_ranks(evaluator: MappingEvaluator) -> np.ndarray:
+    """HEFT upward ranks over mean execution and communication costs."""
+    model = evaluator.model
+    w = mean_exec(evaluator)
+    c = mean_comm(evaluator)
+    g = evaluator.graph
+    index = model.index
+    rank = np.zeros(model.n)
+    for t in reversed(g.topological_order()):
+        i = index[t]
+        best = 0.0
+        for s in g.successors(t):
+            j = index[s]
+            val = c[(i, j)] + rank[j]
+            if val > best:
+                best = val
+        rank[i] = w[i] + best
+    return rank
+
+
+class HeftMapper(Mapper):
+    """HEFT list scheduler used as a mapping algorithm."""
+
+    name = "HEFT"
+
+    def _run(
+        self, evaluator: MappingEvaluator, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        model = evaluator.model
+        n, m = model.n, model.m
+        rank = upward_ranks(evaluator)
+        # Decreasing rank_u is a topological order (rank(parent) > rank(child)
+        # whenever mean costs are positive); stable tie-break on index.
+        order = sorted(range(n), key=lambda i: (-rank[i], i))
+
+        timelines = DeviceTimelines(evaluator)
+        exec_table = model.exec_table
+        mapping = np.zeros(n, dtype=np.int64)
+        aft = np.zeros(n)
+
+        for i in order:
+            best = (_INF, _INF, 0, -1, 0.0)  # (EFT, EST, device, slot, start)
+            for d in range(m):
+                if not timelines.area_allows(i, d):
+                    continue
+                ready = model._initial[i][d]  # noqa: SLF001
+                for p, trans in model._pred[i]:  # noqa: SLF001
+                    r = aft[p] + trans[mapping[p]][d]
+                    if r > ready:
+                        ready = r
+                duration = exec_table[i, d]
+                start, slot = timelines.earliest_start(d, ready, duration)
+                eft = start + duration
+                if eft < best[0] - 1e-15:
+                    best = (eft, start, d, slot, start)
+            eft, _, d, slot, start = best
+            if not np.isfinite(eft):  # pragma: no cover - area exhausted
+                d, slot = 0, 0
+                ready = model._initial[i][0]  # noqa: SLF001
+                for p, trans in model._pred[i]:  # noqa: SLF001
+                    ready = max(ready, aft[p] + trans[mapping[p]][0])
+                start, slot = timelines.earliest_start(0, ready, exec_table[i, 0])
+                eft = start + exec_table[i, 0]
+            mapping[i] = d
+            aft[i] = eft
+            timelines.commit(i, d, slot, start, eft)
+        return mapping, {"schedule_length": float(aft.max(initial=0.0))}

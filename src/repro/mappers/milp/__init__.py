@@ -1,0 +1,14 @@
+"""MILP mappers solved with scipy.optimize.milp (HiGHS)."""
+
+from .common import MilpBuilder, MilpProblemData, MilpSolution
+from .wgdp import WgdpDeviceMapper, WgdpTimeMapper
+from .zhouliu import ZhouLiuMapper
+
+__all__ = [
+    "MilpBuilder",
+    "MilpProblemData",
+    "MilpSolution",
+    "WgdpDeviceMapper",
+    "WgdpTimeMapper",
+    "ZhouLiuMapper",
+]

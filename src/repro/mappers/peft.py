@@ -1,0 +1,140 @@
+"""PEFT — Predict Earliest Finish Time (Arabnejad & Barbosa [8]).
+
+PEFT improves on HEFT with an *optimistic cost table* (OCT):
+
+``OCT(t, d)`` is the shortest possible time from ``t``'s completion on
+device ``d`` to the end of the graph, assuming every descendant picks its
+best device (min instead of HEFT's average):
+
+    OCT(t, d) = max_{s in succ(t)} min_{d'} [ OCT(s, d') + w(s, d')
+                                              + c(t, s, d, d') ]
+
+with ``c`` the actual pair transfer (0 for ``d' = d``).  Tasks are scheduled
+from a ready list in decreasing ``rank_oct(t) = mean_d OCT(t, d)``; each
+task takes the device minimizing the *optimistic* EFT,
+``O_EFT(t, d) = EFT(t, d) + OCT(t, d)``.
+
+The paper's evaluation uses PEFT as the stronger list-scheduling baseline
+("one of the best-performing HEFT variants for complex systems" [10]).
+Scheduling machinery (insertion-based slot timelines, FPGA area tracking) is
+shared with :mod:`repro.mappers.heft`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..evaluation.evaluator import MappingEvaluator
+from .base import Mapper
+from .heft import DeviceTimelines
+
+__all__ = ["PeftMapper", "optimistic_cost_table"]
+
+_INF = float("inf")
+
+
+def optimistic_cost_table(evaluator: MappingEvaluator) -> np.ndarray:
+    """The ``(n_tasks, n_devices)`` OCT matrix (0 rows for sink tasks)."""
+    model = evaluator.model
+    g = evaluator.graph
+    index = model.index
+    n, m = model.n, model.m
+    exec_table = model.exec_table
+    # successor edge transfer tables: trans[du][dv] per edge, via _pred of the
+    # successor (package-internal access is deliberate here).
+    oct_table = np.zeros((n, m))
+    for t in reversed(g.topological_order()):
+        i = index[t]
+        succs = g.successors(t)
+        if not succs:
+            continue
+        for d in range(m):
+            worst = 0.0
+            for s in succs:
+                j = index[s]
+                trans = None
+                for p, row in model._pred[j]:  # noqa: SLF001
+                    if p == i:
+                        trans = row
+                        break
+                best = _INF
+                for d2 in range(m):
+                    c = 0.0 if d2 == d else trans[d][d2]
+                    val = oct_table[j, d2] + exec_table[j, d2] + c
+                    if val < best:
+                        best = val
+                if best > worst:
+                    worst = best
+            oct_table[i, d] = worst
+    return oct_table
+
+
+class PeftMapper(Mapper):
+    """PEFT list scheduler used as a mapping algorithm."""
+
+    name = "PEFT"
+
+    def _run(
+        self, evaluator: MappingEvaluator, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        model = evaluator.model
+        g = evaluator.graph
+        index = model.index
+        n, m = model.n, model.m
+        exec_table = model.exec_table
+        oct_table = optimistic_cost_table(evaluator)
+        rank_oct = oct_table.mean(axis=1)
+
+        timelines = DeviceTimelines(evaluator)
+        mapping = np.zeros(n, dtype=np.int64)
+        aft = np.zeros(n)
+        scheduled = [False] * n
+
+        indeg = {t: g.in_degree(t) for t in g.tasks()}
+        ready_heap = [
+            (-rank_oct[index[t]], index[t]) for t in g.tasks() if indeg[t] == 0
+        ]
+        heapq.heapify(ready_heap)
+        tasks = model.tasks
+
+        n_done = 0
+        while ready_heap:
+            _, i = heapq.heappop(ready_heap)
+            best = (_INF, _INF, 0, -1, 0.0)  # (O_EFT, EFT, device, slot, start)
+            for d in range(m):
+                if not timelines.area_allows(i, d):
+                    continue
+                ready = model._initial[i][d]  # noqa: SLF001
+                for p, trans in model._pred[i]:  # noqa: SLF001
+                    r = aft[p] + trans[mapping[p]][d]
+                    if r > ready:
+                        ready = r
+                duration = exec_table[i, d]
+                start, slot = timelines.earliest_start(d, ready, duration)
+                eft = start + duration
+                o_eft = eft + oct_table[i, d]
+                if o_eft < best[0] - 1e-15:
+                    best = (o_eft, eft, d, slot, start)
+            o_eft, eft, d, slot, start = best
+            if not np.isfinite(o_eft):  # pragma: no cover - area exhausted
+                d, slot = 0, 0
+                ready = model._initial[i][0]  # noqa: SLF001
+                for p, trans in model._pred[i]:  # noqa: SLF001
+                    ready = max(ready, aft[p] + trans[mapping[p]][0])
+                start, slot = timelines.earliest_start(0, ready, exec_table[i, 0])
+                eft = start + exec_table[i, 0]
+            mapping[i] = d
+            aft[i] = eft
+            scheduled[i] = True
+            n_done += 1
+            timelines.commit(i, d, slot, start, eft)
+            for s in g.successors(tasks[i]):
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    heapq.heappush(ready_heap, (-rank_oct[index[s]], index[s]))
+        if n_done != n:  # pragma: no cover - defensive
+            raise RuntimeError("PEFT failed to schedule all tasks")
+        return mapping, {"schedule_length": float(aft.max(initial=0.0))}

@@ -1,0 +1,75 @@
+"""Trivial reference mappers: all-on-one-device and random.
+
+Not part of the paper's comparison, but useful as sanity baselines in tests
+and examples (the pure-CPU mapper *is* the improvement baseline of Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..evaluation.evaluator import MappingEvaluator
+from .base import Mapper
+
+__all__ = ["AllOnDeviceMapper", "RandomMapper", "BestRandomMapper"]
+
+
+class AllOnDeviceMapper(Mapper):
+    """Map every task to one fixed device (device 0 = the CPU baseline)."""
+
+    def __init__(self, device: int = 0) -> None:
+        self.device = device
+        self.name = f"AllOn{device}"
+        super().__init__()
+
+    def _run(
+        self, evaluator: MappingEvaluator, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        if not 0 <= self.device < evaluator.n_devices:
+            raise ValueError(f"no device {self.device}")
+        mapping = np.full(evaluator.n_tasks, self.device, dtype=np.int64)
+        if not evaluator.is_feasible(mapping):
+            mapping[:] = evaluator.platform.host_index
+        return mapping, {}
+
+
+class RandomMapper(Mapper):
+    """A single uniformly random feasible mapping."""
+
+    name = "Random"
+
+    def _run(
+        self, evaluator: MappingEvaluator, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        for _ in range(100):
+            mapping = rng.integers(
+                0, evaluator.n_devices, size=evaluator.n_tasks, dtype=np.int64
+            )
+            if evaluator.is_feasible(mapping):
+                return mapping, {}
+        return evaluator.cpu_mapping(), {"fallback": 1.0}
+
+
+class BestRandomMapper(Mapper):
+    """Best of ``k`` random feasible mappings (cheap search baseline)."""
+
+    def __init__(self, k: int = 100) -> None:
+        self.k = k
+        self.name = f"BestRandom{k}"
+        super().__init__()
+
+    def _run(
+        self, evaluator: MappingEvaluator, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        best = evaluator.cpu_mapping()
+        best_ms = evaluator.construction_makespan(best)
+        for _ in range(self.k):
+            mapping = rng.integers(
+                0, evaluator.n_devices, size=evaluator.n_tasks, dtype=np.int64
+            )
+            ms = evaluator.construction_makespan(mapping)
+            if ms < best_ms:
+                best, best_ms = mapping, ms
+        return best, {"best_makespan": best_ms}

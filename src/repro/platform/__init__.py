@@ -1,0 +1,29 @@
+"""Heterogeneous platform model: devices, interconnect, execution times."""
+
+from .device import Device, DeviceKind, amdahl_speedup, cpu, fpga, gpu
+from .platform import Platform
+from .presets import (
+    cpu_gpu_platform,
+    cpu_only_platform,
+    dual_fpga_platform,
+    paper_platform,
+)
+from .taskmodel import OPS_PER_MB, exec_time_table, execution_time, work_gops
+
+__all__ = [
+    "Device",
+    "DeviceKind",
+    "amdahl_speedup",
+    "cpu",
+    "fpga",
+    "gpu",
+    "Platform",
+    "cpu_gpu_platform",
+    "cpu_only_platform",
+    "dual_fpga_platform",
+    "paper_platform",
+    "OPS_PER_MB",
+    "exec_time_table",
+    "execution_time",
+    "work_gops",
+]

@@ -1,0 +1,116 @@
+"""Heterogeneous platform: devices plus interconnect.
+
+A :class:`Platform` bundles the processing units with a symmetric
+bandwidth/latency matrix.  By convention **device 0 is the host CPU**: it is
+the default mapping target, holds the input data of source tasks and receives
+the output of sink tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .device import Device, DeviceKind
+
+__all__ = ["Platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A set of devices and their interconnect.
+
+    ``bandwidth_gbps[i][j]`` / ``latency_s[i][j]`` describe the link from
+    device ``i`` to device ``j``; the diagonal is ignored (same-device
+    transfers are free).  Matrices may be given as nested lists or numpy
+    arrays.
+    """
+
+    devices: Tuple[Device, ...]
+    bandwidth_gbps: np.ndarray
+    latency_s: np.ndarray
+
+    def __init__(
+        self,
+        devices: Sequence[Device],
+        bandwidth_gbps,
+        latency_s,
+    ) -> None:
+        devices = tuple(devices)
+        bw = np.asarray(bandwidth_gbps, dtype=float).copy()
+        lat = np.asarray(latency_s, dtype=float).copy()
+        m = len(devices)
+        if not devices:
+            raise ValueError("platform needs at least one device")
+        if devices[0].kind is not DeviceKind.CPU:
+            raise ValueError("device 0 must be the host CPU")
+        if bw.shape != (m, m) or lat.shape != (m, m):
+            raise ValueError(
+                f"interconnect matrices must be {m}x{m}, got {bw.shape}/{lat.shape}"
+            )
+        if np.any(bw[~np.eye(m, dtype=bool)] <= 0):
+            raise ValueError("off-diagonal bandwidths must be positive")
+        if np.any(lat < 0):
+            raise ValueError("latencies must be non-negative")
+        names = [d.name for d in devices]
+        if len(set(names)) != m:
+            raise ValueError(f"duplicate device names: {names}")
+        np.fill_diagonal(bw, np.inf)
+        np.fill_diagonal(lat, 0.0)
+        bw.setflags(write=False)
+        lat.setflags(write=False)
+        object.__setattr__(self, "devices", devices)
+        object.__setattr__(self, "bandwidth_gbps", bw)
+        object.__setattr__(self, "latency_s", lat)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def host_index(self) -> int:
+        """Index of the host CPU (always 0 by construction)."""
+        return 0
+
+    def index_of(self, name: str) -> int:
+        for i, d in enumerate(self.devices):
+            if d.name == name:
+                return i
+        raise KeyError(f"no device named {name!r}")
+
+    def device(self, name: str) -> Device:
+        return self.devices[self.index_of(name)]
+
+    def fpga_indices(self) -> List[int]:
+        return [i for i, d in enumerate(self.devices) if d.is_fpga]
+
+    def kind_mask(self, kind: DeviceKind) -> np.ndarray:
+        return np.array([d.kind is kind for d in self.devices])
+
+    def transfer_time(self, d_from: int, d_to: int, data_mb: float) -> float:
+        """Time (s) to move ``data_mb`` MB between two devices (0 if same)."""
+        if d_from == d_to:
+            return 0.0
+        bw = self.bandwidth_gbps[d_from, d_to]
+        return float(self.latency_s[d_from, d_to] + data_mb / 1000.0 / bw)
+
+    def serializes(self) -> np.ndarray:
+        return np.array([d.serializes for d in self.devices])
+
+    def streaming(self) -> np.ndarray:
+        return np.array([d.streaming for d in self.devices])
+
+    def area_capacities(self) -> Dict[int, float]:
+        """Device index -> area capacity, for area-constrained devices."""
+        return {
+            i: d.area_capacity
+            for i, d in enumerate(self.devices)
+            if d.area_capacity is not None
+        }
+
+    def __repr__(self) -> str:
+        names = ", ".join(f"{d.name}({d.kind.value})" for d in self.devices)
+        return f"Platform([{names}])"

@@ -1,0 +1,87 @@
+"""Platform presets.
+
+:func:`paper_platform` models the paper's evaluation system (Sec. IV-A): one
+AMD Epyc 7351P CPU (16 cores), one AMD Radeon RX Vega 56 GPU and one Xilinx
+XCZ7045 FPGA, connected over PCIe.  The constants are derived from public
+spec sheets and chosen so that the *relative* device strengths match the
+hardware profile (see DESIGN.md "Substitutions"):
+
+- CPU: few fast lanes — the safe default;
+- GPU: many slow lanes — wins on perfectly parallelizable tasks, pays PCIe
+  transfers, loses badly on sequential tasks;
+- FPGA: moderate streaming throughput, free on-chip edges, pipeline overlap
+  along co-mapped chains, but area-limited.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import cpu, fpga, gpu
+from .platform import Platform
+
+__all__ = [
+    "paper_platform",
+    "cpu_only_platform",
+    "cpu_gpu_platform",
+    "dual_fpga_platform",
+]
+
+
+def paper_platform(
+    *,
+    cpu_lanes: int = 16,
+    gpu_lanes: int = 64,
+    fpga_area: float = 100.0,
+) -> Platform:
+    """CPU + GPU + FPGA system of the paper's evaluation (Sec. IV-A)."""
+    devices = [
+        cpu("epyc7351p", lanes=cpu_lanes),
+        gpu("vega56", lanes=gpu_lanes),
+        fpga("xcz7045", area_capacity=fpga_area),
+    ]
+    #                 cpu   gpu   fpga
+    bandwidth = [
+        [np.inf, 12.0, 6.0],   # from cpu  (PCIe 3.0 x16 / x8)
+        [12.0, np.inf, 4.0],   # from gpu  (peer via host)
+        [6.0, 4.0, np.inf],    # from fpga
+    ]
+    latency = [
+        [0.0, 1e-4, 1e-4],
+        [1e-4, 0.0, 2e-4],
+        [1e-4, 2e-4, 0.0],
+    ]
+    return Platform(devices, bandwidth, latency)
+
+
+def cpu_only_platform() -> Platform:
+    """Single-CPU platform (the baseline mapping target)."""
+    return Platform([cpu("host")], [[np.inf]], [[0.0]])
+
+
+def cpu_gpu_platform() -> Platform:
+    """Low-heterogeneity CPU + GPU system (the classic HEFT habitat)."""
+    devices = [cpu("host"), gpu("gpu0")]
+    bandwidth = [[np.inf, 12.0], [12.0, np.inf]]
+    latency = [[0.0, 1e-4], [1e-4, 0.0]]
+    return Platform(devices, bandwidth, latency)
+
+
+def dual_fpga_platform() -> Platform:
+    """CPU + two FPGAs — stresses streaming placement and area pressure."""
+    devices = [
+        cpu("host"),
+        fpga("fpga0", area_capacity=60.0),
+        fpga("fpga1", area_capacity=60.0),
+    ]
+    bandwidth = [
+        [np.inf, 6.0, 6.0],
+        [6.0, np.inf, 3.0],
+        [6.0, 3.0, np.inf],
+    ]
+    latency = [
+        [0.0, 1e-4, 1e-4],
+        [1e-4, 0.0, 2e-4],
+        [1e-4, 2e-4, 0.0],
+    ]
+    return Platform(devices, bandwidth, latency)

@@ -1,0 +1,47 @@
+"""Series-parallel machinery: trees, recognition, Algorithm 1 forest, candidates."""
+
+from .analysis import ForestStats, core_fraction, forest_stats, sp_distance
+from .forest import (
+    CUT_STRATEGIES,
+    VIRTUAL_SINK,
+    VIRTUAL_SOURCE,
+    DecompositionForest,
+    grow_decomposition_forest,
+)
+from .recognition import (
+    NotSeriesParallelError,
+    decomposition_tree,
+    decomposition_tree_from_edges,
+    is_series_parallel,
+)
+from .sptree import SPLeaf, SPParallel, SPSeries, SPTree, parallel, series
+from .subgraphs import (
+    candidates_from_forest,
+    series_parallel_candidates,
+    single_node_candidates,
+)
+
+__all__ = [
+    "CUT_STRATEGIES",
+    "ForestStats",
+    "core_fraction",
+    "forest_stats",
+    "sp_distance",
+    "VIRTUAL_SINK",
+    "VIRTUAL_SOURCE",
+    "DecompositionForest",
+    "grow_decomposition_forest",
+    "NotSeriesParallelError",
+    "decomposition_tree",
+    "decomposition_tree_from_edges",
+    "is_series_parallel",
+    "SPLeaf",
+    "SPParallel",
+    "SPSeries",
+    "SPTree",
+    "parallel",
+    "series",
+    "candidates_from_forest",
+    "series_parallel_candidates",
+    "single_node_candidates",
+]

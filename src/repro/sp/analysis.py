@@ -1,0 +1,97 @@
+"""Analysis of decomposition forests and SP-ness of graphs.
+
+Quantifies what Fig. 7 varies: *how* series-parallel a DAG is, and what the
+decomposition forest looks like (tree-size distribution, how much of the
+graph the core tree retains).  The experiment drivers use these metrics for
+reporting; they are also the foundation of the cut-strategy ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graphs.taskgraph import TaskGraph
+from .forest import DecompositionForest, grow_decomposition_forest
+from .recognition import is_series_parallel
+
+__all__ = ["ForestStats", "forest_stats", "sp_distance", "core_fraction"]
+
+
+@dataclass(frozen=True)
+class ForestStats:
+    """Shape summary of a decomposition forest."""
+
+    n_trees: int
+    n_cuts: int
+    n_edges_total: int
+    core_edges: int            # real edges in the core tree
+    largest_tree_edges: int
+    mean_tree_edges: float
+    core_fraction: float       # core real edges / all real edges
+    single_edge_trees: int     # degenerate trees (the SN-convergence signal)
+
+
+def forest_stats(g: TaskGraph, forest: DecompositionForest) -> ForestStats:
+    """Compute the shape summary of a forest over its original graph."""
+    real = set(g.tasks())
+
+    def real_edge_count(tree) -> int:
+        return sum(1 for u, v in tree.leaf_edges() if u in real and v in real)
+
+    sizes = [real_edge_count(t) for t in forest.trees]
+    total = sum(sizes)
+    core = sizes[0] if sizes else 0
+    return ForestStats(
+        n_trees=len(forest.trees),
+        n_cuts=forest.n_cuts,
+        n_edges_total=total,
+        core_edges=core,
+        largest_tree_edges=max(sizes, default=0),
+        mean_tree_edges=float(np.mean(sizes)) if sizes else 0.0,
+        core_fraction=core / total if total else 0.0,
+        single_edge_trees=sum(1 for s in sizes if s == 1),
+    )
+
+
+def sp_distance(
+    g: TaskGraph,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    cut_strategy: str = "smallest",
+    trials: int = 1,
+) -> float:
+    """Fraction of edges that had to be cut away from the core structure.
+
+    0.0 for series-parallel graphs; grows towards 1 as conflicts shatter
+    the decomposition (the x-axis regime of Fig. 7).  An upper bound on the
+    true (NP-hard, [23]) minimum, taken as the best over ``trials`` runs.
+    """
+    if g.n_edges == 0:
+        return 0.0
+    if is_series_parallel(g):
+        return 0.0
+    best = 1.0
+    for k in range(max(1, trials)):
+        forest = grow_decomposition_forest(
+            g,
+            rng=rng if rng is not None else np.random.default_rng(k),
+            cut_strategy=cut_strategy,
+        )
+        stats = forest_stats(g, forest)
+        cut_edges = stats.n_edges_total - stats.core_edges
+        best = min(best, cut_edges / max(1, stats.n_edges_total))
+    return best
+
+
+def core_fraction(
+    g: TaskGraph,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    cut_strategy: str = "smallest",
+) -> float:
+    """Share of the graph's edges kept in the core decomposition tree."""
+    forest = grow_decomposition_forest(g, rng=rng, cut_strategy=cut_strategy)
+    return forest_stats(g, forest).core_fraction

@@ -1,0 +1,164 @@
+"""Recognition of two-terminal series-parallel DAGs by reduction.
+
+A DAG with a unique source ``s`` and sink ``t`` is (two-terminal)
+series-parallel iff it can be reduced to the single edge ``(s, t)`` by
+repeatedly applying
+
+- **series reductions**: replace ``(u, w), (w, v)`` by ``(u, v)`` when ``w``
+  is an interior node with in-degree = out-degree = 1, and
+- **parallel reductions**: collapse multi-edges ``(u, v)`` into one.
+
+(Valdes/Tarjan/Lawler; cf. Eppstein [21] cited in the paper.)  The reducer
+simultaneously builds the series-parallel decomposition tree of Fig. 1, with
+maximal n-ary series/parallel nodes.  Runs in O(E) with the worklist
+bookkeeping below.
+
+This module is the *validator* counterpart to :mod:`repro.sp.forest` (the
+paper's Algorithm 1): the forest grower handles arbitrary DAGs by cutting,
+while this recognizer decides exact SP-ness and is used in tests to verify
+that every tree produced by the forest algorithm is a genuine SP subgraph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..graphs.taskgraph import TaskGraph
+from .sptree import SPLeaf, SPTree, parallel, series
+
+__all__ = [
+    "NotSeriesParallelError",
+    "decomposition_tree",
+    "is_series_parallel",
+    "decomposition_tree_from_edges",
+]
+
+Node = Hashable
+
+
+class NotSeriesParallelError(ValueError):
+    """Raised when a graph is not two-terminal series-parallel."""
+
+
+class _Edge:
+    __slots__ = ("u", "v", "tree", "alive")
+
+    def __init__(self, u: Node, v: Node, tree: SPTree) -> None:
+        self.u = u
+        self.v = v
+        self.tree = tree
+        self.alive = True
+
+
+def decomposition_tree_from_edges(
+    edges: List[Tuple[Node, Node]],
+    source: Node,
+    sink: Node,
+) -> SPTree:
+    """Build the SP decomposition tree of an edge list, or raise.
+
+    ``edges`` may contain duplicates (multi-edges); they are handled by
+    parallel reductions.  Raises :class:`NotSeriesParallelError` if the graph
+    cannot be fully reduced.
+    """
+    if not edges:
+        raise NotSeriesParallelError("empty graph")
+    out_edges: Dict[Node, Set[_Edge]] = {}
+    in_edges: Dict[Node, Set[_Edge]] = {}
+    by_pair: Dict[Tuple[Node, Node], List[_Edge]] = {}
+
+    def add_edge(e: _Edge) -> None:
+        out_edges.setdefault(e.u, set()).add(e)
+        in_edges.setdefault(e.v, set()).add(e)
+        by_pair.setdefault((e.u, e.v), []).append(e)
+
+    def drop_edge(e: _Edge) -> None:
+        e.alive = False
+        out_edges[e.u].discard(e)
+        in_edges[e.v].discard(e)
+
+    for u, v in edges:
+        add_edge(_Edge(u, v, SPLeaf(u, v)))
+
+    pair_queue: deque = deque(by_pair.keys())
+    node_queue: deque = deque(out_edges.keys() | in_edges.keys())
+    in_pair_queue: Set[Tuple[Node, Node]] = set(pair_queue)
+    in_node_queue: Set[Node] = set(node_queue)
+
+    def push_pair(p: Tuple[Node, Node]) -> None:
+        if p not in in_pair_queue:
+            in_pair_queue.add(p)
+            pair_queue.append(p)
+
+    def push_node(n: Node) -> None:
+        if n not in in_node_queue:
+            in_node_queue.add(n)
+            node_queue.append(n)
+
+    while pair_queue or node_queue:
+        while pair_queue:
+            p = pair_queue.popleft()
+            in_pair_queue.discard(p)
+            alive = [e for e in by_pair.get(p, ()) if e.alive]
+            by_pair[p] = alive
+            if len(alive) >= 2:
+                for e in alive:
+                    drop_edge(e)
+                merged = _Edge(p[0], p[1], parallel([e.tree for e in alive]))
+                add_edge(merged)
+                by_pair[p] = [merged]
+                push_node(p[0])
+                push_node(p[1])
+        while node_queue:
+            w = node_queue.popleft()
+            in_node_queue.discard(w)
+            if w == source or w == sink:
+                continue
+            ins = in_edges.get(w, set())
+            outs = out_edges.get(w, set())
+            if len(ins) == 1 and len(outs) == 1:
+                (e_in,) = ins
+                (e_out,) = outs
+                drop_edge(e_in)
+                drop_edge(e_out)
+                merged = _Edge(e_in.u, e_out.v, series(e_in.tree, e_out.tree))
+                add_edge(merged)
+                push_pair((merged.u, merged.v))
+                push_node(merged.u)
+                push_node(merged.v)
+                break  # re-drain the pair queue first
+        else:
+            continue
+        # a series reduction happened; loop back to parallel reductions
+        push_node(w)
+
+    remaining = [e for es in out_edges.values() for e in es if e.alive]
+    if len(remaining) == 1 and remaining[0].u == source and remaining[0].v == sink:
+        return remaining[0].tree
+    raise NotSeriesParallelError(
+        f"graph is not series-parallel: {len(remaining)} irreducible edges remain"
+    )
+
+
+def decomposition_tree(g: TaskGraph) -> SPTree:
+    """SP decomposition tree of a task graph with unique source and sink."""
+    sources = g.sources()
+    sinks = g.sinks()
+    if len(sources) != 1 or len(sinks) != 1:
+        raise NotSeriesParallelError(
+            f"two-terminal SP graphs need unique source/sink, "
+            f"got {len(sources)} sources and {len(sinks)} sinks"
+        )
+    if g.n_tasks == 1:
+        raise NotSeriesParallelError("single-node graph has no defining edge")
+    return decomposition_tree_from_edges(g.edges(), sources[0], sinks[0])
+
+
+def is_series_parallel(g: TaskGraph) -> bool:
+    """True iff ``g`` is a two-terminal series-parallel DAG."""
+    try:
+        decomposition_tree(g)
+        return True
+    except NotSeriesParallelError:
+        return False

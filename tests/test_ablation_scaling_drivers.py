@@ -1,0 +1,114 @@
+"""Tests for the ablation and scaling experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablation, scaling
+from repro.experiments.config import ScaleConfig
+from repro.experiments.runner import SweepResult, SweepSeries
+
+TINY = ScaleConfig(
+    name="tiny",
+    graphs_per_point=2,
+    n_random_schedules=4,
+    fig3_sizes=[6],
+    fig3_zhouliu_max=0,
+    zhouliu_time_limit_s=5.0,
+    milp_time_limit_s=5.0,
+    fig4_sizes=[8, 16, 24],
+    fig5_sizes=[8, 14],
+    nsga_generations=4,
+    fig6_generations=[2],
+    fig6_n_tasks=8,
+    fig6_graphs=1,
+    fig7_n_tasks=14,
+    fig7_extra_edges=[0, 6],
+    table1_sizes_key="smoke",
+    table1_parameterizations=1,
+    table1_generations=4,
+)
+
+
+class TestAblationCuts:
+    def test_runs_all_strategies(self):
+        result = ablation.run_cuts(scale=TINY, seed=1)
+        names = {s.name for s in result.series()}
+        assert names == {
+            "SPFF-random", "SPFF-first", "SPFF-smallest", "SPFF-largest"
+        }
+        for s in result.series():
+            assert all(0.0 <= v <= 1.0 for v in s.improvement)
+
+
+class TestAblationGamma:
+    def test_runs_all_gammas(self):
+        result = ablation.run_gamma(scale=TINY, seed=2)
+        names = {s.name for s in result.series()}
+        assert names == {"Gamma1", "Gamma1.5", "Gamma2", "Gamma4", "Basic"}
+
+    def test_gamma_variants_close_to_basic(self):
+        """Paper Sec. IV-B: gamma > 1 brings no significant benefit."""
+        result = ablation.run_gamma(scale=TINY, seed=3)
+        series = {s.name: s for s in result.series()}
+        basic = np.mean(series["Basic"].improvement)
+        for name in ("Gamma1", "Gamma2"):
+            assert np.mean(series[name].improvement) >= basic - 0.12
+
+
+class TestAblationStreaming:
+    def test_stream_aware_at_least_blind(self):
+        result = ablation.run_streaming(scale=TINY, seed=4)
+        series = {s.name: s for s in result.series()}
+        aware = np.mean(series["StreamAware"].improvement)
+        blind = np.mean(series["StreamBlind"].improvement)
+        assert aware >= blind - 0.05
+
+
+class TestScaling:
+    def test_run_and_fit(self):
+        result = scaling.run(scale=TINY, seed=5)
+        exponents = scaling.fit_exponents(result)
+        assert set(exponents) == {
+            "SingleNode", "SeriesParallel", "SNFirstFit", "SPFirstFit"
+        }
+        for alpha in exponents.values():
+            assert np.isfinite(alpha)
+
+    def test_fit_exponent_on_synthetic_series(self):
+        """The fit must recover a known exponent exactly."""
+        s = SweepSeries("X")
+        for n in (10, 20, 40, 80):
+            s.xs.append(n)
+            s.improvement.append(0.1)
+            s.time_s.append(1e-6 * n**2)
+        result = SweepResult("synthetic", "n")
+        from repro.experiments.runner import PointResult
+        from repro.experiments.metrics import aggregate
+
+        for i, n in enumerate(s.xs):
+            result.points.append(
+                PointResult(
+                    x=n,
+                    improvements={"X": aggregate([s.improvement[i]])},
+                    times={"X": aggregate([s.time_s[i]])},
+                    evaluations={"X": 0.0},
+                )
+            )
+        exponents = scaling.fit_exponents(result)
+        assert exponents["X"] == pytest.approx(2.0, abs=1e-6)
+
+    def test_fit_with_insufficient_points(self):
+        result = SweepResult("tiny", "n")
+        from repro.experiments.metrics import aggregate
+        from repro.experiments.runner import PointResult
+
+        result.points.append(
+            PointResult(
+                x=5.0,
+                improvements={"X": aggregate([0.1])},
+                times={"X": aggregate([1.0])},
+                evaluations={"X": 0.0},
+            )
+        )
+        exponents = scaling.fit_exponents(result)
+        assert np.isnan(exponents["X"])

@@ -1,0 +1,81 @@
+"""Tests for the experiment CLI plumbing and reporting helpers."""
+
+import os
+import sys
+
+import pytest
+
+from repro.experiments._cli import run_cli
+from repro.experiments.metrics import aggregate
+from repro.experiments.reporting import results_dir
+from repro.experiments.runner import PointResult, SweepResult
+
+
+def _stub_result():
+    result = SweepResult("stub title", "n")
+    result.points.append(
+        PointResult(
+            x=5.0,
+            improvements={"A": aggregate([0.1, 0.2])},
+            times={"A": aggregate([0.01, 0.02])},
+            evaluations={"A": 10.0},
+        )
+    )
+    return result
+
+
+class TestRunCli:
+    def test_prints_table(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            sys, "argv", ["prog", "--scale", "smoke", "--quiet"]
+        )
+        calls = {}
+
+        def fake_run(scale="smoke", seed=0, progress=None):
+            calls["scale"] = scale
+            calls["seed"] = seed
+            calls["progress"] = progress
+            return _stub_result()
+
+        run_cli("test driver", fake_run, default_seed=42)
+        out = capsys.readouterr().out
+        assert "stub title" in out
+        assert calls == {"scale": "smoke", "seed": 42, "progress": None}
+
+    def test_progress_enabled_by_default(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["prog"])
+        seen = {}
+
+        def fake_run(scale="smoke", seed=0, progress=None):
+            seen["progress"] = progress
+            if progress:
+                progress("tick")
+            return _stub_result()
+
+        run_cli("test driver", fake_run, default_seed=1)
+        assert seen["progress"] is not None
+        assert "[tick]" in capsys.readouterr().out
+
+    def test_csv_flag(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        monkeypatch.setattr(sys, "argv", ["prog", "--csv", "--quiet"])
+        run_cli("t", lambda scale="smoke", seed=0, progress=None: _stub_result(),
+                default_seed=0)
+        out = capsys.readouterr().out
+        assert "csv written" in out
+        assert any(p.suffix == ".csv" for p in tmp_path.iterdir())
+
+
+class TestResultsDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(target))
+        assert results_dir() == str(target)
+        assert target.is_dir()  # created on demand
+
+    def test_default_cwd(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        path = results_dir()
+        assert path == os.path.join(str(tmp_path), "results")
+        assert os.path.isdir(path)

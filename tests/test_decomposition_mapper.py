@@ -1,0 +1,160 @@
+"""Tests for the decomposition-based mappers (the paper's contribution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    make_workflow,
+    augment_workflow,
+    random_almost_sp_graph,
+    random_sp_graph,
+)
+from repro.mappers import (
+    DecompositionMapper,
+    series_parallel,
+    single_node,
+    sn_first_fit,
+    sp_first_fit,
+)
+from repro.platform import paper_platform
+from tests.conftest import make_evaluator
+
+
+class TestConstruction:
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            DecompositionMapper("bogus")
+
+    def test_invalid_heuristic(self):
+        with pytest.raises(ValueError):
+            DecompositionMapper("single_node", "bogus")
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            DecompositionMapper("single_node", "gamma", gamma=0.5)
+
+    def test_names_match_paper(self):
+        assert single_node().name == "SingleNode"
+        assert series_parallel().name == "SeriesParallel"
+        assert sn_first_fit().name == "SNFirstFit"
+        assert sp_first_fit().name == "SPFirstFit"
+        assert (
+            DecompositionMapper("single_node", "gamma", gamma=2).name
+            == "SingleNodeGamma2"
+        )
+
+    def test_first_fit_forces_gamma_one(self):
+        m = DecompositionMapper("single_node", "first_fit", gamma=5.0)
+        assert m.gamma == 1.0
+
+
+class TestCandidates:
+    def test_single_node_candidates(self, platform, rng):
+        g = random_sp_graph(15, rng)
+        ev = make_evaluator(g, platform)
+        sets = single_node().candidate_index_sets(ev, rng)
+        assert len(sets) == 15
+        assert all(len(s) == 1 for s in sets)
+
+    def test_sp_candidates_superset(self, platform, rng):
+        g = random_sp_graph(15, rng)
+        ev = make_evaluator(g, platform)
+        sn_sets = {tuple(s) for s in single_node().candidate_index_sets(ev, rng)}
+        sp_sets = {
+            tuple(sorted(s))
+            for s in series_parallel().candidate_index_sets(ev, rng)
+        }
+        assert {tuple(s) for s in sn_sets} <= sp_sets
+
+
+class TestGuarantees:
+    """Sec. IV-A: decomposition mappings are *by design* never worse than CPU."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n=st.integers(4, 25),
+        k=st.integers(0, 10),
+        seed=st.integers(0, 2**31),
+    )
+    def test_never_worse_than_cpu_baseline(self, n, k, seed):
+        g = random_almost_sp_graph(n, k, np.random.default_rng(seed))
+        ev = make_evaluator(g, paper_platform(), seed=seed, n_random=5)
+        for mapper in (sn_first_fit(), sp_first_fit()):
+            res = mapper.map(ev, rng=np.random.default_rng(seed))
+            assert res.makespan <= ev.cpu_construction_makespan * (1 + 1e-9)
+            assert ev.is_feasible(res.mapping)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_all_variants_feasible_and_terminate(self, seed):
+        g = random_sp_graph(15, np.random.default_rng(seed))
+        ev = make_evaluator(g, paper_platform(), seed=seed, n_random=5)
+        for mapper in (
+            single_node(),
+            series_parallel(),
+            sn_first_fit(),
+            sp_first_fit(),
+            DecompositionMapper("series_parallel", "gamma", gamma=2.0),
+        ):
+            res = mapper.map(ev, rng=np.random.default_rng(seed))
+            assert ev.is_feasible(res.mapping)
+            assert res.stats["iterations"] <= ev.n_tasks
+
+    def test_iteration_cap_respected(self, platform, rng):
+        g = random_sp_graph(20, rng)
+        ev = make_evaluator(g, platform)
+        mapper = DecompositionMapper(
+            "single_node", "basic", iteration_cap_factor=0.1
+        )
+        res = mapper.map(ev, rng=rng)
+        assert res.stats["iterations"] <= max(1, int(np.ceil(0.1 * 20)))
+
+
+class TestQuality:
+    def test_sp_at_least_single_node_on_chain_heavy_graph(self, platform):
+        """Epigenomics-style chains: SP moves should help (paper Sec. IV-D)."""
+        rng = np.random.default_rng(8)
+        g = make_workflow("epigenomics", 40, rng)
+        augment_workflow(g, rng)
+        ev = make_evaluator(g, platform, n_random=10)
+        sn = sn_first_fit().map(ev, rng=np.random.default_rng(1))
+        sp = sp_first_fit().map(ev, rng=np.random.default_rng(1))
+        assert ev.relative_improvement(sp.mapping) >= (
+            ev.relative_improvement(sn.mapping) - 0.05
+        )
+
+    def test_first_fit_close_to_basic(self, platform):
+        """Paper Sec. IV-B: FirstFit quality is 'almost negligible'ly worse."""
+        diffs = []
+        for seed in range(4):
+            g = random_sp_graph(25, np.random.default_rng(seed))
+            ev = make_evaluator(g, platform, seed=seed, n_random=10)
+            basic = series_parallel().map(ev, rng=np.random.default_rng(0))
+            ff = sp_first_fit().map(ev, rng=np.random.default_rng(0))
+            diffs.append(
+                ev.relative_improvement(basic.mapping)
+                - ev.relative_improvement(ff.mapping)
+            )
+        assert np.mean(diffs) < 0.08
+
+    def test_first_fit_fewer_evaluations(self, platform, rng):
+        g = random_sp_graph(40, rng)
+        ev = make_evaluator(g, platform)
+        basic = single_node().map(ev, rng=np.random.default_rng(0))
+        ff = sn_first_fit().map(ev, rng=np.random.default_rng(0))
+        assert ff.n_evaluations < basic.n_evaluations
+
+    def test_finds_improvement_on_accelerable_graph(self, platform):
+        rng = np.random.default_rng(3)
+        g = random_sp_graph(30, rng)
+        ev = make_evaluator(g, platform, n_random=10)
+        res = sp_first_fit().map(ev, rng=rng)
+        assert ev.relative_improvement(res.mapping) > 0.02
+
+    def test_stats_populated(self, small_evaluator, rng):
+        res = sp_first_fit().map(small_evaluator, rng=rng)
+        assert {"iterations", "n_candidates", "n_moves"} <= set(res.stats)
+        assert res.elapsed_s >= 0
+        assert res.n_evaluations > 0

@@ -1,0 +1,73 @@
+"""Smoke tests: the example scripts must run end to end.
+
+``compare_mappers`` is exercised only through its fast path (the MILP roster
+at full time limits belongs to the benchmark suite, not unit tests).
+"""
+
+import importlib
+import sys
+
+import pytest
+
+
+def _load(name):
+    sys.path.insert(0, "examples")
+    try:
+        return importlib.import_module(name)
+    finally:
+        sys.path.pop(0)
+
+
+def test_quickstart_runs(capsys):
+    mod = _load("quickstart")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "decomposition tree" in out
+    assert "relative improvement" in out
+
+
+def test_montage_workflow_runs(capsys):
+    mod = _load("montage_workflow")
+    mod.main(60)
+    out = capsys.readouterr().out
+    assert "HEFT" in out and "SPFirstFit" in out
+
+
+def test_fpga_streaming_runs(capsys):
+    mod = _load("fpga_streaming")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "SeriesParallel FirstFit" in out
+    # the whole point of the example: SP finds the chain mapping, SN does not
+    assert "streaming contributes" in out
+
+
+def test_custom_platform_runs(capsys):
+    mod = _load("custom_platform")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "fpga_a" in out and "fpga_b" in out
+
+
+def test_fpga_streaming_pipeline_builder():
+    mod = _load("fpga_streaming")
+    g = mod.build_pipeline(n_lanes=2, chain_len=3)
+    g.validate()
+    assert g.n_tasks == 2 * 3 + 2
+    assert len(g.sources()) == 1 and len(g.sinks()) == 1
+
+
+def test_energy_tradeoff_runs(capsys):
+    mod = _load("energy_tradeoff")
+    mod.main()
+    out = capsys.readouterr().out
+    assert "Pareto NSGA-II front" in out
+    assert "knee point" in out
+
+
+def test_wfcommons_import_runs(capsys):
+    mod = _load("wfcommons_import")
+    mod.main(mod.sample_path())
+    out = capsys.readouterr().out
+    assert "imported" in out
+    assert "SPFirstFit" in out

@@ -1,0 +1,149 @@
+"""Tests for the experiment harness (runner, metrics, reporting, config)."""
+
+import csv
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SCALES, bench_scale, get_scale
+from repro.experiments.metrics import aggregate, positive_improvement
+from repro.experiments.reporting import format_sweep_table, write_csv
+from repro.experiments.runner import run_point, run_sweep
+from repro.graphs.generators import random_sp_graph
+from repro.mappers import HeftMapper, sp_first_fit
+from repro.platform import paper_platform
+
+
+class TestMetrics:
+    def test_positive_improvement(self):
+        assert positive_improvement(10.0, 8.0) == pytest.approx(0.2)
+        assert positive_improvement(10.0, 12.0) == 0.0
+        assert positive_improvement(10.0, float("inf")) == 0.0
+
+    def test_aggregate(self):
+        stats = aggregate([0.0, 0.1, 0.2, 0.3])
+        assert stats.mean == pytest.approx(0.15)
+        assert stats.count == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert stats.minimum == 0.0 and stats.maximum == 0.3
+        assert "±" in str(stats)
+
+    def test_aggregate_empty(self):
+        stats = aggregate([])
+        assert stats.count == 0 and stats.mean == 0.0
+
+
+class TestConfig:
+    def test_scales_exist(self):
+        assert set(SCALES) == {"smoke", "small", "paper"}
+        assert get_scale("paper").graphs_per_point == 30
+        assert get_scale("paper").fig4_sizes[-1] == 200
+        assert get_scale(get_scale("smoke")) is get_scale("smoke")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_bench_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        assert bench_scale().name == "small"
+        monkeypatch.delenv("REPRO_BENCH_SCALE")
+        assert bench_scale().name == "smoke"
+
+
+class TestRunner:
+    def test_run_point(self, platform):
+        rng = np.random.default_rng(0)
+        graphs = [random_sp_graph(10, rng) for _ in range(2)]
+        point = run_point(
+            [HeftMapper(), sp_first_fit()],
+            graphs,
+            platform,
+            seed=1,
+            n_random_schedules=5,
+            x=10.0,
+        )
+        assert set(point.improvements) == {"HEFT", "SPFirstFit"}
+        assert point.improvements["SPFirstFit"].count == 2
+        assert point.times["HEFT"].mean >= 0.0
+
+    def test_run_point_reproducible(self, platform):
+        rng = np.random.default_rng(0)
+        graphs = [random_sp_graph(10, rng)]
+        a = run_point([sp_first_fit()], graphs, platform, seed=3,
+                      n_random_schedules=5)
+        b = run_point([sp_first_fit()], graphs, platform, seed=3,
+                      n_random_schedules=5)
+        assert (
+            a.improvements["SPFirstFit"].mean
+            == b.improvements["SPFirstFit"].mean
+        )
+
+    def test_run_sweep_series(self, platform):
+        result = run_sweep(
+            "test sweep",
+            "n",
+            [6, 9],
+            lambda x, rng: [random_sp_graph(int(x), rng)],
+            lambda x: [sp_first_fit()],
+            platform,
+            seed=0,
+            n_random_schedules=3,
+        )
+        series = result.series()
+        assert len(series) == 1
+        assert series[0].xs == [6.0, 9.0]
+        assert len(series[0].improvement) == 2
+
+    def test_run_sweep_progress_callback(self, platform):
+        messages = []
+        run_sweep(
+            "cb",
+            "n",
+            [5],
+            lambda x, rng: [random_sp_graph(int(x), rng)],
+            lambda x: [sp_first_fit()],
+            platform,
+            seed=0,
+            n_random_schedules=2,
+            progress=messages.append,
+        )
+        assert len(messages) == 1
+
+
+class TestReporting:
+    @pytest.fixture()
+    def sweep(self, platform):
+        return run_sweep(
+            "report test",
+            "n",
+            [5, 8],
+            lambda x, rng: [random_sp_graph(int(x), rng)],
+            lambda x: [HeftMapper(), sp_first_fit()],
+            platform,
+            seed=0,
+            n_random_schedules=2,
+        )
+
+    def test_format_table(self, sweep):
+        text = format_sweep_table(sweep)
+        assert "report test" in text
+        assert "HEFT" in text and "SPFirstFit" in text
+        assert "relative improvement" in text
+        assert "execution time (ms)" in text
+
+    def test_csv_stream(self, sweep):
+        buf = io.StringIO()
+        write_csv(sweep, fileobj=buf)
+        rows = list(csv.reader(io.StringIO(buf.getvalue())))
+        assert rows[0] == ["n", "algorithm", "improvement", "time_s", "hit_rate"]
+        assert len(rows) == 1 + 2 * 2  # 2 points x 2 algorithms
+
+    def test_csv_file(self, sweep, tmp_path):
+        path = tmp_path / "out.csv"
+        returned = write_csv(sweep, str(path))
+        assert returned == str(path)
+        assert path.exists()
+        assert path.read_text().startswith("n,algorithm")

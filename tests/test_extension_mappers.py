@@ -1,0 +1,104 @@
+"""Tests for the extension mappers: Lookahead HEFT and simulated annealing."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import TaskGraph
+from repro.graphs.generators import random_sp_graph
+from repro.mappers import (
+    HeftMapper,
+    LookaheadHeftMapper,
+    SimulatedAnnealingMapper,
+)
+from repro.platform import paper_platform
+from tests.conftest import make_evaluator
+
+
+class TestLookaheadHeft:
+    def test_valid_mapping(self, platform, rng):
+        g = random_sp_graph(20, rng)
+        ev = make_evaluator(g, platform)
+        res = LookaheadHeftMapper().map(ev, rng=rng)
+        assert ev.is_feasible(res.mapping)
+        assert res.stats["schedule_length"] > 0
+
+    def test_deterministic(self, platform, rng):
+        g = random_sp_graph(15, rng)
+        ev = make_evaluator(g, platform)
+        a = LookaheadHeftMapper().map(ev).mapping
+        b = LookaheadHeftMapper().map(ev).mapping
+        assert np.array_equal(a, b)
+
+    def test_respects_area(self, platform):
+        g = TaskGraph()
+        for i in range(8):
+            g.add_task(i, complexity=20.0, parallelizability=0.0,
+                       streamability=20.0, area=40.0)
+        for i in range(7):
+            g.add_edge(i, i + 1, data_mb=1.0)
+        ev = make_evaluator(g, platform)  # capacity 100 -> at most 2 fit
+        res = LookaheadHeftMapper().map(ev)
+        assert int(np.sum(res.mapping == 2)) <= 2
+
+    def test_not_systematically_worse_than_heft(self, platform):
+        la, plain = [], []
+        for seed in range(5):
+            g = random_sp_graph(25, np.random.default_rng(seed + 20))
+            ev = make_evaluator(g, platform, seed=seed, n_random=10)
+            la.append(
+                ev.relative_improvement(LookaheadHeftMapper().map(ev).mapping)
+            )
+            plain.append(
+                ev.relative_improvement(HeftMapper().map(ev).mapping)
+            )
+        assert np.mean(la) >= np.mean(plain) - 0.05
+
+
+class TestAnnealing:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingMapper(iterations=0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingMapper(cooling=1.5)
+
+    def test_never_worse_than_cpu(self, platform, rng):
+        g = random_sp_graph(15, rng)
+        ev = make_evaluator(g, platform, n_random=5)
+        res = SimulatedAnnealingMapper(iterations=300).map(ev, rng=rng)
+        assert res.makespan <= ev.cpu_construction_makespan * (1 + 1e-9)
+        assert ev.is_feasible(res.mapping)
+
+    def test_deterministic_for_seed(self, platform):
+        g = random_sp_graph(12, np.random.default_rng(0))
+        ev = make_evaluator(g, platform, n_random=5)
+        m = SimulatedAnnealingMapper(iterations=200)
+        a = m.map(ev, rng=np.random.default_rng(5)).mapping
+        b = m.map(ev, rng=np.random.default_rng(5)).mapping
+        assert np.array_equal(a, b)
+
+    def test_finds_improvement(self, platform):
+        g = random_sp_graph(20, np.random.default_rng(9))
+        ev = make_evaluator(g, platform, n_random=10)
+        res = SimulatedAnnealingMapper(iterations=1500).map(
+            ev, rng=np.random.default_rng(1)
+        )
+        assert ev.relative_improvement(res.mapping) > 0.02
+
+    def test_subgraph_moves_toggle(self, platform, rng):
+        g = random_sp_graph(15, rng)
+        ev = make_evaluator(g, platform, n_random=5)
+        with_sub = SimulatedAnnealingMapper(
+            iterations=200, use_subgraph_moves=True
+        ).map(ev, rng=np.random.default_rng(2))
+        without = SimulatedAnnealingMapper(
+            iterations=200, use_subgraph_moves=False
+        ).map(ev, rng=np.random.default_rng(2))
+        assert ev.is_feasible(with_sub.mapping)
+        assert ev.is_feasible(without.mapping)
+
+    def test_stats(self, platform, rng):
+        g = random_sp_graph(10, rng)
+        ev = make_evaluator(g, platform, n_random=5)
+        res = SimulatedAnnealingMapper(iterations=100).map(ev, rng=rng)
+        assert res.stats["iterations"] == 100.0
+        assert 0 <= res.stats["accepted"] <= 100

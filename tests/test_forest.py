@@ -1,0 +1,187 @@
+"""Tests for Algorithm 1 — the SP decomposition forest for general DAGs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import TaskGraph
+from repro.graphs.generators import (
+    random_almost_sp_graph,
+    random_layered_graph,
+    random_sp_graph,
+)
+from repro.sp import (
+    CUT_STRATEGIES,
+    VIRTUAL_SINK,
+    VIRTUAL_SOURCE,
+    NotSeriesParallelError,
+    decomposition_tree_from_edges,
+    grow_decomposition_forest,
+)
+
+
+def assert_forest_invariants(g: TaskGraph, forest) -> None:
+    """The core correctness properties of Algorithm 1's output."""
+    # 1. every original edge appears in exactly one tree
+    covered = forest.real_edges()
+    assert sorted(covered) == sorted(g.edges()), "edge partition violated"
+    # 2. every tree is a genuine two-terminal SP subgraph: re-recognize its
+    #    leaf edges between its terminals (sorting key handles the virtual
+    #    sentinel nodes, which are not orderable against ints)
+    for tree in forest.trees:
+        edges = list(tree.leaf_edges())
+        try:
+            rebuilt = decomposition_tree_from_edges(
+                edges, tree.source, tree.sink
+            )
+        except NotSeriesParallelError as exc:  # pragma: no cover
+            raise AssertionError(f"forest tree is not SP: {exc}") from exc
+        assert sorted(rebuilt.leaf_edges(), key=repr) == sorted(edges, key=repr)
+    # 3. all real task nodes appear in the forest
+    assert forest.task_nodes() == set(g.tasks())
+
+
+class TestSPInputs:
+    def test_sp_graph_yields_single_tree_no_cuts(self, fig1_graph):
+        forest = grow_decomposition_forest(fig1_graph, cut_strategy="first")
+        assert forest.n_cuts == 0
+        assert forest.n_completion_edges == 0
+        assert len(forest.trees) == 1
+        assert forest.core.source is VIRTUAL_SOURCE
+        assert forest.core.sink is VIRTUAL_SINK
+        assert_forest_invariants(fig1_graph, forest)
+
+    def test_chain(self, chain_graph):
+        forest = grow_decomposition_forest(chain_graph, cut_strategy="first")
+        assert forest.n_cuts == 0
+        assert_forest_invariants(chain_graph, forest)
+
+    def test_diamond(self, diamond_graph):
+        forest = grow_decomposition_forest(diamond_graph, cut_strategy="first")
+        assert forest.n_cuts == 0
+        assert_forest_invariants(diamond_graph, forest)
+
+
+class TestFig2:
+    def test_exactly_one_cut(self, fig2_graph):
+        forest = grow_decomposition_forest(fig2_graph, cut_strategy="first")
+        assert forest.n_cuts == 1
+        assert forest.n_completion_edges == 0
+        assert len(forest.trees) == 2
+        assert_forest_invariants(fig2_graph, forest)
+
+    def test_cut_tree_matches_paper(self, fig2_graph):
+        """With the 'first' strategy the [1,5] subtree is cut (paper Fig. 2)."""
+        forest = grow_decomposition_forest(fig2_graph, cut_strategy="first")
+        cut = forest.trees[1]
+        assert (cut.source, cut.sink) == (1, 5)
+        assert sorted(cut.leaf_edges()) == sorted(
+            [(1, 2), (2, 3), (1, 3), (3, 5)]
+        )
+
+    def test_smallest_strategy_cuts_single_edge(self, fig2_graph):
+        """Cutting 1-4 keeps the Fig. 1 tree whole — the 'better' cut."""
+        forest = grow_decomposition_forest(fig2_graph, cut_strategy="smallest")
+        cut = forest.trees[1]
+        assert cut.n_edges == 1
+        assert_forest_invariants(fig2_graph, forest)
+
+    @pytest.mark.parametrize("strategy", CUT_STRATEGIES)
+    def test_all_strategies_valid(self, fig2_graph, strategy):
+        forest = grow_decomposition_forest(
+            fig2_graph, rng=np.random.default_rng(0), cut_strategy=strategy
+        )
+        assert_forest_invariants(fig2_graph, forest)
+
+
+class TestNormalization:
+    def test_multi_source_sink_graph(self):
+        g = TaskGraph.from_edges([(0, 2), (1, 2), (2, 3), (2, 4)])
+        forest = grow_decomposition_forest(g, cut_strategy="first")
+        assert_forest_invariants(g, forest)
+
+    def test_single_node_graph(self):
+        g = TaskGraph()
+        g.add_task(0)
+        forest = grow_decomposition_forest(g)
+        assert forest.task_nodes() == {0}
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            grow_decomposition_forest(TaskGraph())
+
+    def test_unknown_strategy_raises(self, fig1_graph):
+        with pytest.raises(ValueError, match="cut strategy"):
+            grow_decomposition_forest(fig1_graph, cut_strategy="bogus")
+
+
+class TestDeterminism:
+    def test_fixed_rng_reproducible(self, fig2_graph):
+        a = grow_decomposition_forest(
+            fig2_graph, rng=np.random.default_rng(3), cut_strategy="random"
+        )
+        b = grow_decomposition_forest(
+            fig2_graph, rng=np.random.default_rng(3), cut_strategy="random"
+        )
+        assert [sorted(t.leaf_edges(), key=repr) for t in a.trees] == [
+            sorted(t.leaf_edges(), key=repr) for t in b.trees
+        ]
+
+    def test_no_rng_defaults_to_first(self, fig2_graph):
+        a = grow_decomposition_forest(fig2_graph, cut_strategy="random")
+        b = grow_decomposition_forest(fig2_graph, cut_strategy="first")
+        assert [sorted(t.leaf_edges(), key=repr) for t in a.trees] == [
+            sorted(t.leaf_edges(), key=repr) for t in b.trees
+        ]
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(2, 60), seed=st.integers(0, 2**31))
+    def test_sp_graphs_never_cut(self, n, seed):
+        g = random_sp_graph(n, np.random.default_rng(seed), augmented=False)
+        forest = grow_decomposition_forest(
+            g, rng=np.random.default_rng(seed + 1)
+        )
+        assert forest.n_cuts == 0
+        assert forest.n_completion_edges == 0
+        assert_forest_invariants(g, forest)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(5, 40),
+        k=st.integers(1, 30),
+        seed=st.integers(0, 2**31),
+        strategy=st.sampled_from(CUT_STRATEGIES),
+    )
+    def test_almost_sp_partition(self, n, k, seed, strategy):
+        g = random_almost_sp_graph(
+            n, k, np.random.default_rng(seed), augmented=False
+        )
+        forest = grow_decomposition_forest(
+            g, rng=np.random.default_rng(seed + 1), cut_strategy=strategy
+        )
+        assert_forest_invariants(g, forest)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_layered_partition(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_layered_graph(5, 5, rng, augmented=False)
+        forest = grow_decomposition_forest(
+            g, rng=np.random.default_rng(seed + 1)
+        )
+        assert_forest_invariants(g, forest)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_linear_cut_count(self, seed):
+        """Cuts are bounded by the number of edges."""
+        g = random_almost_sp_graph(
+            30, 40, np.random.default_rng(seed), augmented=False
+        )
+        forest = grow_decomposition_forest(
+            g, rng=np.random.default_rng(seed)
+        )
+        assert forest.n_cuts <= g.n_edges

@@ -1,0 +1,150 @@
+"""Tests for the random graph generators (SP, almost-SP, layered)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import graph_stats
+from repro.graphs.generators import (
+    add_random_edges,
+    random_almost_sp_graph,
+    random_layered_graph,
+    random_sp_edges,
+    random_sp_graph,
+)
+from repro.sp import is_series_parallel
+
+
+class TestRandomSP:
+    def test_exact_node_count(self):
+        rng = np.random.default_rng(0)
+        for n in (2, 3, 10, 57):
+            g = random_sp_graph(n, rng, augmented=False)
+            assert g.n_tasks == n
+
+    def test_single_source_and_sink(self, rng):
+        g = random_sp_graph(30, rng, augmented=False)
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_is_series_parallel(self, rng):
+        for _ in range(10):
+            g = random_sp_graph(25, rng, augmented=False)
+            assert is_series_parallel(g)
+
+    def test_rejects_tiny(self, rng):
+        with pytest.raises(ValueError):
+            random_sp_graph(1, rng)
+
+    def test_deterministic_for_seed(self):
+        a = random_sp_graph(40, np.random.default_rng(9))
+        b = random_sp_graph(40, np.random.default_rng(9))
+        assert a.edges() == b.edges()
+        assert all(
+            a.params(t).complexity == b.params(t).complexity for t in a.tasks()
+        )
+
+    def test_linear_density(self, rng):
+        g = random_sp_graph(200, rng, augmented=False)
+        # simple two-terminal SP graphs have < 2n edges
+        assert graph_stats(g).density < 2.0
+
+    def test_augmented_parameters_in_range(self, rng):
+        g = random_sp_graph(100, rng, augmented=True)
+        for t in g.tasks():
+            p = g.params(t)
+            assert p.complexity > 0
+            assert 0.0 <= p.parallelizability <= 1.0
+            assert p.streamability > 0
+            assert p.area == pytest.approx(0.25 * p.complexity)
+
+    def test_series_weight_bias(self, rng):
+        # heavy series weight -> deep chain-like graphs
+        deep = random_sp_graph(
+            50, np.random.default_rng(3), series_weight=10, parallel_weight=1,
+            augmented=False,
+        )
+        wide = random_sp_graph(
+            50, np.random.default_rng(3), series_weight=1, parallel_weight=10,
+            augmented=False,
+        )
+        assert deep.longest_path_length() > wide.longest_path_length()
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(2, 60), seed=st.integers(0, 2**31))
+    def test_property_always_series_parallel(self, n, seed):
+        g = random_sp_graph(n, np.random.default_rng(seed), augmented=False)
+        assert g.n_tasks == n
+        g.validate()
+        assert is_series_parallel(g)
+
+    def test_raw_edges_end_at_terminals(self, rng):
+        edges = random_sp_edges(20, rng)
+        nodes = {u for u, _ in edges} | {v for _, v in edges}
+        assert 0 in nodes and 1 in nodes
+
+
+class TestAlmostSP:
+    def test_extra_edges_added(self):
+        base = random_almost_sp_graph(
+            40, 0, np.random.default_rng(4), augmented=False
+        )
+        extended = random_almost_sp_graph(
+            40, 25, np.random.default_rng(4), augmented=False
+        )
+        extended.validate()
+        assert extended.n_tasks == 40
+        assert extended.n_edges == base.n_edges + 25
+
+    def test_add_random_edges_increases_count(self, rng):
+        g = random_sp_graph(30, rng, augmented=False)
+        before = g.n_edges
+        inserted = add_random_edges(g, 15, rng)
+        assert inserted == 15
+        assert g.n_edges == before + 15
+        g.validate()  # still a DAG
+
+    def test_zero_extra_edges_is_sp(self, rng):
+        g = random_almost_sp_graph(30, 0, rng, augmented=False)
+        assert is_series_parallel(g)
+
+    def test_many_extra_edges_usually_not_sp(self):
+        hits = 0
+        for seed in range(5):
+            g = random_almost_sp_graph(
+                30, 30, np.random.default_rng(seed), augmented=False
+            )
+            hits += not is_series_parallel(g)
+        assert hits >= 4  # most conflicting (paper Sec. IV-C)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(5, 40),
+        k=st.integers(0, 40),
+        seed=st.integers(0, 2**31),
+    )
+    def test_property_always_dag(self, n, k, seed):
+        g = random_almost_sp_graph(n, k, np.random.default_rng(seed))
+        g.validate()
+        assert g.n_tasks == n
+
+
+class TestLayered:
+    def test_shape(self, rng):
+        g = random_layered_graph(6, 5, rng)
+        g.validate()
+        assert 6 <= g.n_tasks <= 30
+
+    def test_every_non_first_layer_task_has_pred(self, rng):
+        g = random_layered_graph(5, 4, rng, augmented=False)
+        levels = g.bfs_levels()
+        for t in g.tasks():
+            if t not in levels[0]:
+                assert g.in_degree(t) >= 1
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            random_layered_graph(0, 3, rng)
+        with pytest.raises(ValueError):
+            random_layered_graph(3, 0, rng)

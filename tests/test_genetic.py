@@ -1,0 +1,78 @@
+"""Tests for the single-objective NSGA-II mapper."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import TaskGraph
+from repro.graphs.generators import random_sp_graph
+from repro.mappers import NsgaIIMapper
+from repro.platform import paper_platform
+from tests.conftest import make_evaluator
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NsgaIIMapper(generations=0)
+        with pytest.raises(ValueError):
+            NsgaIIMapper(population_size=1)
+
+
+class TestGuarantees:
+    def test_never_worse_than_cpu_with_seeding(self, platform, rng):
+        """The seeded all-CPU individual plus elitism bound the result."""
+        g = random_sp_graph(15, rng)
+        ev = make_evaluator(g, platform, n_random=5)
+        res = NsgaIIMapper(generations=5).map(ev, rng=rng)
+        assert res.makespan <= ev.cpu_construction_makespan * (1 + 1e-9)
+
+    def test_repair_keeps_area_feasible(self, platform, rng):
+        g = TaskGraph()
+        for i in range(12):
+            g.add_task(i, complexity=5.0, streamability=10.0, area=20.0)
+        for i in range(11):
+            g.add_edge(i, i + 1)
+        ev = make_evaluator(g, platform)  # capacity 100 -> max 5 on FPGA
+        res = NsgaIIMapper(generations=10).map(ev, rng=rng)
+        assert ev.is_feasible(res.mapping)
+
+    def test_deterministic_for_seed(self, platform):
+        g = random_sp_graph(12, np.random.default_rng(0))
+        ev = make_evaluator(g, platform, n_random=5)
+        m = NsgaIIMapper(generations=8)
+        a = m.map(ev, rng=np.random.default_rng(42)).mapping
+        b = m.map(ev, rng=np.random.default_rng(42)).mapping
+        assert np.array_equal(a, b)
+
+
+class TestBehaviour:
+    def test_more_generations_never_hurt(self, platform):
+        """Elitism makes best-so-far monotone in the generation budget."""
+        g = random_sp_graph(15, np.random.default_rng(1))
+        ev = make_evaluator(g, platform, n_random=5)
+        short = NsgaIIMapper(generations=3).map(
+            ev, rng=np.random.default_rng(7)
+        )
+        long = NsgaIIMapper(generations=30).map(
+            ev, rng=np.random.default_rng(7)
+        )
+        assert long.makespan <= short.makespan * (1 + 1e-9)
+
+    def test_finds_improvement(self, platform):
+        g = random_sp_graph(20, np.random.default_rng(2))
+        ev = make_evaluator(g, platform, n_random=10)
+        res = NsgaIIMapper(generations=40).map(ev, rng=np.random.default_rng(3))
+        assert ev.relative_improvement(res.mapping) > 0.02
+
+    def test_stats(self, platform, rng):
+        g = random_sp_graph(10, rng)
+        ev = make_evaluator(g, platform, n_random=5)
+        res = NsgaIIMapper(generations=4).map(ev, rng=rng)
+        assert res.stats["generations"] == 4.0
+        assert res.stats["best_makespan"] == pytest.approx(res.makespan)
+
+    def test_mutation_rate_override(self, platform, rng):
+        g = random_sp_graph(10, rng)
+        ev = make_evaluator(g, platform, n_random=5)
+        res = NsgaIIMapper(generations=3, mutation_rate=0.5).map(ev, rng=rng)
+        assert ev.is_feasible(res.mapping)

@@ -1,0 +1,231 @@
+"""Tests for serialization: JSON graphs/platforms/mappings, WfCommons, DOT."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graphs import TaskGraph, augment
+from repro.graphs.generators import random_sp_graph
+from repro.io import (
+    FormatError,
+    forest_to_dot,
+    graph_from_dict,
+    graph_to_dict,
+    graph_to_dot,
+    load_graph,
+    load_platform,
+    mapping_from_dict,
+    mapping_to_dict,
+    platform_from_dict,
+    platform_to_dict,
+    save_graph,
+    save_platform,
+    wfcommons_from_dict,
+)
+from repro.platform import dual_fpga_platform, paper_platform
+from repro.sp import grow_decomposition_forest
+
+
+class TestGraphJson:
+    def test_roundtrip(self, rng):
+        g = random_sp_graph(20, rng)
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.tasks() == g.tasks()
+        assert back.edges() == g.edges()
+        for t in g.tasks():
+            assert back.params(t).complexity == pytest.approx(
+                g.params(t).complexity
+            )
+        for u, v in g.edges():
+            assert back.data_mb(u, v) == pytest.approx(g.data_mb(u, v))
+
+    def test_file_roundtrip(self, tmp_path, rng):
+        g = random_sp_graph(10, rng)
+        path = str(tmp_path / "g.json")
+        save_graph(g, path)
+        back = load_graph(path)
+        assert back.edges() == g.edges()
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(FormatError):
+            graph_from_dict({"format": "something-else", "version": 1})
+
+    def test_future_version_rejected(self):
+        with pytest.raises(FormatError):
+            graph_from_dict({"format": "repro-taskgraph", "version": 99})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(FormatError):
+            graph_from_dict([1, 2, 3])
+
+
+class TestPlatformJson:
+    @pytest.mark.parametrize("factory", [paper_platform, dual_fpga_platform])
+    def test_roundtrip(self, factory):
+        p = factory()
+        back = platform_from_dict(platform_to_dict(p))
+        assert back.n_devices == p.n_devices
+        for a, b in zip(back.devices, p.devices):
+            assert a == b
+        assert np.allclose(back.latency_s, p.latency_s)
+        finite = np.isfinite(p.bandwidth_gbps)
+        assert np.allclose(
+            back.bandwidth_gbps[finite], p.bandwidth_gbps[finite]
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "p.json")
+        save_platform(paper_platform(), path)
+        back = load_platform(path)
+        assert back.device("vega56").lanes == 64
+
+
+class TestMappingJson:
+    def test_roundtrip(self, rng):
+        g = random_sp_graph(12, rng)
+        p = paper_platform()
+        mapping = rng.integers(0, 3, size=12)
+        doc = mapping_to_dict(g, p, mapping, makespan=1.5, algorithm="X")
+        back = mapping_from_dict(doc, g, p)
+        assert np.array_equal(back, mapping)
+        assert doc["algorithm"] == "X"
+
+    def test_length_mismatch(self, rng):
+        g = random_sp_graph(5, rng)
+        with pytest.raises(FormatError):
+            mapping_to_dict(g, paper_platform(), [0, 1])
+
+    def test_missing_task(self, rng):
+        g = random_sp_graph(5, rng)
+        p = paper_platform()
+        doc = mapping_to_dict(g, p, [0] * 5)
+        del doc["assignment"][str(g.tasks()[0])]
+        with pytest.raises(FormatError, match="misses task"):
+            mapping_from_dict(doc, g, p)
+
+
+class TestWfCommons:
+    @pytest.fixture()
+    def sample_doc(self):
+        return {
+            "name": "sample",
+            "workflow": {
+                "tasks": [
+                    {
+                        "name": "split",
+                        "runtime": 2.0,
+                        "children": ["work_1", "work_2"],
+                        "files": [
+                            {"link": "output", "name": "part1",
+                             "sizeInBytes": 50_000_000},
+                            {"link": "output", "name": "part2",
+                             "sizeInBytes": 70_000_000},
+                        ],
+                    },
+                    {
+                        "name": "work_1",
+                        "runtime": 10.0,
+                        "children": ["merge"],
+                        "files": [
+                            {"link": "input", "name": "part1",
+                             "sizeInBytes": 50_000_000},
+                            {"link": "output", "name": "out1",
+                             "sizeInBytes": 5_000_000},
+                        ],
+                    },
+                    {
+                        "name": "work_2",
+                        "runtime": 12.0,
+                        "children": ["merge"],
+                        "files": [
+                            {"link": "input", "name": "part2",
+                             "sizeInBytes": 70_000_000},
+                            {"link": "output", "name": "out2",
+                             "sizeInBytes": 6_000_000},
+                        ],
+                    },
+                    {
+                        "name": "merge",
+                        "runtime": 1.0,
+                        "parents": ["work_1", "work_2"],
+                        "files": [
+                            {"link": "input", "name": "out1",
+                             "sizeInBytes": 5_000_000},
+                            {"link": "input", "name": "out2",
+                             "sizeInBytes": 6_000_000},
+                        ],
+                    },
+                ]
+            },
+        }
+
+    def test_parse_structure(self, sample_doc):
+        g = wfcommons_from_dict(sample_doc)
+        assert g.n_tasks == 4
+        assert g.n_edges == 4
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+
+    def test_runtimes_become_complexity(self, sample_doc):
+        g = wfcommons_from_dict(sample_doc)
+        # work_2 has runtime 12.0
+        complexities = sorted(g.params(t).complexity for t in g.tasks())
+        assert complexities == pytest.approx([1.0, 2.0, 10.0, 12.0])
+
+    def test_file_sizes_become_edge_data(self, sample_doc):
+        g = wfcommons_from_dict(sample_doc)
+        # split -> work_1 carries part1 = 50 MB
+        assert g.data_mb(0, 1) == pytest.approx(50.0)
+        assert g.data_mb(0, 2) == pytest.approx(70.0)
+        assert g.data_mb(1, 3) == pytest.approx(5.0)
+
+    def test_default_data_for_unmatched_files(self, sample_doc):
+        for task in sample_doc["workflow"]["tasks"]:
+            task.pop("files", None)
+        g = wfcommons_from_dict(sample_doc, default_data_mb=42.0)
+        assert g.data_mb(0, 1) == pytest.approx(42.0)
+
+    def test_legacy_jobs_key(self, sample_doc):
+        sample_doc["workflow"]["jobs"] = sample_doc["workflow"].pop("tasks")
+        g = wfcommons_from_dict(sample_doc)
+        assert g.n_tasks == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            wfcommons_from_dict({"workflow": {"tasks": []}})
+
+    def test_rejects_duplicate_names(self, sample_doc):
+        sample_doc["workflow"]["tasks"][1]["name"] = "split"
+        with pytest.raises(ValueError, match="duplicate"):
+            wfcommons_from_dict(sample_doc)
+
+    def test_file_loading(self, tmp_path, sample_doc):
+        from repro.io import load_wfcommons
+
+        path = tmp_path / "wf.json"
+        path.write_text(json.dumps(sample_doc))
+        g = load_wfcommons(str(path))
+        assert g.n_tasks == 4
+
+
+class TestDot:
+    def test_plain_graph(self, fig1_graph):
+        text = graph_to_dot(fig1_graph)
+        assert text.startswith("digraph")
+        assert "t0 -> t1" in text
+        assert text.rstrip().endswith("}")
+
+    def test_with_mapping_colors(self, fig1_graph, rng):
+        augment(fig1_graph, rng)
+        p = paper_platform()
+        mapping = [0, 1, 2, 0, 1, 2]
+        text = graph_to_dot(fig1_graph, mapping=mapping, platform=p)
+        assert "fillcolor" in text
+        assert "vega56" in text
+
+    def test_forest_clusters(self, fig2_graph):
+        forest = grow_decomposition_forest(fig2_graph, cut_strategy="first")
+        text = forest_to_dot(fig2_graph, forest)
+        assert "cluster_0" in text
+        assert "cluster_1" in text
+        assert "core" in text

@@ -1,0 +1,140 @@
+"""Tests for the HEFT and PEFT baselines."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import TaskGraph, augment
+from repro.graphs.generators import random_sp_graph
+from repro.mappers import HeftMapper, PeftMapper
+from repro.mappers.heft import mean_comm, mean_exec, upward_ranks
+from repro.mappers.peft import optimistic_cost_table
+from repro.platform import cpu_only_platform, paper_platform
+from tests.conftest import make_evaluator
+
+
+class TestHeftInternals:
+    def test_mean_exec_shape(self, small_evaluator):
+        w = mean_exec(small_evaluator)
+        assert w.shape == (6,)
+        assert np.all(w > 0)
+
+    def test_mean_comm_excludes_same_device(self, small_evaluator):
+        c = mean_comm(small_evaluator)
+        assert len(c) == small_evaluator.graph.n_edges
+        assert all(v > 0 for v in c.values())
+
+    def test_upward_ranks_decrease_along_edges(self, small_evaluator):
+        rank = upward_ranks(small_evaluator)
+        g = small_evaluator.graph
+        idx = small_evaluator.model.index
+        for u, v in g.edges():
+            assert rank[idx[u]] > rank[idx[v]]
+
+
+class TestHeftMapping:
+    def test_valid_mapping(self, platform, rng):
+        g = random_sp_graph(25, rng)
+        ev = make_evaluator(g, platform)
+        res = HeftMapper().map(ev, rng=rng)
+        assert res.mapping.shape == (25,)
+        assert ev.is_feasible(res.mapping)
+
+    def test_single_device_platform_maps_everything_to_it(self, rng):
+        g = random_sp_graph(10, rng)
+        ev = make_evaluator(g, cpu_only_platform())
+        res = HeftMapper().map(ev, rng=rng)
+        assert np.all(res.mapping == 0)
+
+    def test_respects_fpga_area(self, platform):
+        # every task is hugely FPGA-attractive but the area fits only a few
+        g = TaskGraph()
+        for i in range(10):
+            g.add_task(
+                i,
+                complexity=20.0,
+                parallelizability=0.0,
+                streamability=20.0,
+                area=30.0,  # capacity 100 -> at most 3 fit
+            )
+        for i in range(9):
+            g.add_edge(i, i + 1, data_mb=1.0)
+        ev = make_evaluator(g, platform)
+        res = HeftMapper().map(ev)
+        on_fpga = int(np.sum(res.mapping == 2))
+        assert on_fpga <= 3
+        assert ev.is_feasible(res.mapping)
+
+    def test_prefers_gpu_for_parallel_hot_task(self, platform):
+        """One huge perfectly-parallel task with tiny I/O must go to the GPU."""
+        g = TaskGraph()
+        g.add_task(0, complexity=0.1)
+        g.add_task(1, complexity=500.0, parallelizability=1.0, streamability=1.0)
+        g.add_task(2, complexity=0.1)
+        g.add_edge(0, 1, data_mb=100.0)
+        g.add_edge(1, 2, data_mb=100.0)
+        ev = make_evaluator(g, platform)
+        res = HeftMapper().map(ev)
+        assert res.mapping[1] == 1  # the GPU
+
+
+class TestPeft:
+    def test_oct_zero_for_sinks(self, small_evaluator):
+        oct_table = optimistic_cost_table(small_evaluator)
+        g = small_evaluator.graph
+        idx = small_evaluator.model.index
+        for t in g.sinks():
+            assert np.all(oct_table[idx[t]] == 0.0)
+        assert np.all(oct_table >= 0.0)
+
+    def test_oct_nondecreasing_towards_source(self, small_evaluator):
+        """rank_oct must grow along reversed edges (more graph left to run)."""
+        oct_table = optimistic_cost_table(small_evaluator)
+        rank = oct_table.mean(axis=1)
+        g = small_evaluator.graph
+        idx = small_evaluator.model.index
+        for u, v in g.edges():
+            assert rank[idx[u]] > rank[idx[v]] - 1e-12
+
+    def test_valid_mapping(self, platform, rng):
+        g = random_sp_graph(30, rng)
+        ev = make_evaluator(g, platform)
+        res = PeftMapper().map(ev, rng=rng)
+        assert ev.is_feasible(res.mapping)
+        assert res.stats["schedule_length"] > 0
+
+    def test_respects_fpga_area(self, platform):
+        g = TaskGraph()
+        for i in range(10):
+            g.add_task(
+                i, complexity=20.0, parallelizability=0.0,
+                streamability=20.0, area=30.0,
+            )
+        for i in range(9):
+            g.add_edge(i, i + 1, data_mb=1.0)
+        ev = make_evaluator(g, platform)
+        res = PeftMapper().map(ev)
+        assert int(np.sum(res.mapping == 2)) <= 3
+
+    def test_deterministic(self, platform, rng):
+        g = random_sp_graph(20, rng)
+        ev = make_evaluator(g, platform)
+        a = PeftMapper().map(ev).mapping
+        b = PeftMapper().map(ev).mapping
+        assert np.array_equal(a, b)
+
+
+class TestComparative:
+    def test_both_beat_nothing_rarely_but_run_fast(self, platform):
+        """On average over seeds, HEFT/PEFT find some improvement."""
+        imps_h, imps_p = [], []
+        for seed in range(5):
+            g = random_sp_graph(30, np.random.default_rng(seed))
+            ev = make_evaluator(g, platform, seed=seed, n_random=10)
+            imps_h.append(
+                ev.relative_improvement(HeftMapper().map(ev).mapping)
+            )
+            imps_p.append(
+                ev.relative_improvement(PeftMapper().map(ev).mapping)
+            )
+        assert np.mean(imps_h) > 0.0
+        assert np.mean(imps_p) > 0.0

@@ -1,0 +1,174 @@
+"""Tests for the MILP infrastructure and the three MILP mappers."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import TaskGraph, augment
+from repro.graphs.generators import random_sp_graph
+from repro.mappers import WgdpDeviceMapper, WgdpTimeMapper, ZhouLiuMapper
+from repro.mappers.milp import MilpBuilder, MilpProblemData
+from repro.platform import paper_platform
+from tests.conftest import make_evaluator
+
+
+class TestMilpBuilder:
+    def test_simple_lp(self):
+        # max x + y st x + y <= 3, 0 <= x,y <= 2  -> milp minimizes, so negate
+        b = MilpBuilder()
+        x = b.add_continuous(0, 2)
+        y = b.add_continuous(0, 2)
+        b.add_constraint({x: 1.0, y: 1.0}, ub=3.0)
+        b.set_objective({x: -1.0, y: -1.0})
+        sol = b.solve()
+        assert sol.status == 0
+        assert sol.x[x] + sol.x[y] == pytest.approx(3.0)
+
+    def test_knapsack(self):
+        # items (value, weight): (6,4), (5,3), (4,2); capacity 5 -> take 5+4
+        b = MilpBuilder()
+        xs = b.add_binaries(3)
+        values = [6, 5, 4]
+        weights = [4, 3, 2]
+        b.add_constraint({x: w for x, w in zip(xs, weights)}, ub=5.0)
+        b.set_objective({x: -v for x, v in zip(xs, values)})
+        sol = b.solve()
+        assert sol.status == 0
+        assert -sol.objective == pytest.approx(9.0)
+        assert [round(sol.x[x]) for x in xs] == [0, 1, 1]
+
+    def test_duplicate_coefficients_merged(self):
+        b = MilpBuilder()
+        x = b.add_continuous(0, 10)
+        b.add_constraint({x: 1.0}, lb=4.0)  # x >= 4
+        b.set_objective({x: 1.0})
+        sol = b.solve()
+        assert sol.x[x] == pytest.approx(4.0)
+
+    def test_infeasible_reports_no_x(self):
+        b = MilpBuilder()
+        x = b.add_binary()
+        b.add_constraint({x: 1.0}, lb=2.0)  # impossible for a binary
+        b.set_objective({x: 1.0})
+        sol = b.solve()
+        assert sol.status != 0
+        assert sol.x is None or not np.isfinite(sol.objective)
+
+
+class TestProblemData:
+    def test_slot_expansion(self, platform, rng):
+        g = random_sp_graph(8, rng)
+        ev = make_evaluator(g, platform)
+        data = MilpProblemData(ev)
+        # 4 CPU slots + 1 GPU slot + 1 FPGA = 6 expanded devices
+        assert data.m_expanded == 6
+        assert data.device_map == [0, 0, 0, 0, 1, 2]
+        assert data.exec_table.shape == (8, 6)
+
+    def test_collapse_mapping(self, platform, rng):
+        g = random_sp_graph(5, rng)
+        ev = make_evaluator(g, platform)
+        data = MilpProblemData(ev)
+        collapsed = data.collapse_mapping([0, 3, 4, 5, 1])
+        assert collapsed.tolist() == [0, 0, 1, 2, 0]
+
+    def test_same_real_device_transfers_free(self, platform, rng):
+        g = random_sp_graph(6, rng)
+        ev = make_evaluator(g, platform)
+        data = MilpProblemData(ev)
+        for trans in data.edge_trans.values():
+            # CPU slot 0 <-> CPU slot 3 must be free
+            assert trans[0, 3] == 0.0
+            assert trans[0, 4] > 0.0  # CPU -> GPU costs
+
+    def test_unordered_pairs_chain_empty(self, platform, chain_graph, rng):
+        augment(chain_graph, rng)
+        ev = make_evaluator(chain_graph, platform)
+        data = MilpProblemData(ev)
+        assert data.unordered_pairs() == []
+
+    def test_unordered_pairs_antichain_full(self, platform):
+        g = TaskGraph()
+        for i in range(4):
+            g.add_task(i, complexity=1.0)
+        ev = make_evaluator(g, platform)
+        data = MilpProblemData(ev)
+        assert len(data.unordered_pairs()) == 6
+
+    def test_horizon_positive_and_finite(self, platform, rng):
+        g = random_sp_graph(10, rng)
+        ev = make_evaluator(g, platform)
+        data = MilpProblemData(ev)
+        assert np.isfinite(data.horizon)
+        assert data.horizon > 0
+
+
+class TestWgdpDevice:
+    def test_balances_loads(self, platform):
+        # 8 identical sequential tasks, no dependencies: min-max load spreads
+        g = TaskGraph()
+        for i in range(8):
+            g.add_task(i, complexity=5.0, parallelizability=0.0,
+                       streamability=5.0, area=1.0)
+        ev = make_evaluator(g, platform)
+        res = WgdpDeviceMapper(time_limit_s=20).map(ev)
+        used_devices = set(res.mapping.tolist())
+        assert len(used_devices) >= 2  # it must spread the load
+        assert ev.is_feasible(res.mapping)
+
+    def test_respects_area(self, platform):
+        g = TaskGraph()
+        for i in range(6):
+            g.add_task(i, complexity=50.0, streamability=50.0, area=60.0)
+        ev = make_evaluator(g, platform)  # capacity 100 -> at most 1 fits
+        res = WgdpDeviceMapper(time_limit_s=20).map(ev)
+        assert int(np.sum(res.mapping == 2)) <= 1
+
+
+class TestWgdpTime:
+    def test_small_instance_quality(self, platform):
+        g = random_sp_graph(8, np.random.default_rng(5))
+        ev = make_evaluator(g, platform, n_random=5)
+        res = WgdpTimeMapper(time_limit_s=30).map(
+            ev, rng=np.random.default_rng(0)
+        )
+        assert ev.is_feasible(res.mapping)
+        # the time-based MILP should find a real improvement on small graphs
+        assert ev.relative_improvement(res.mapping) > 0.0
+
+    def test_streaming_flag_off_still_works(self, platform):
+        g = random_sp_graph(6, np.random.default_rng(6))
+        ev = make_evaluator(g, platform, n_random=5)
+        res = WgdpTimeMapper(time_limit_s=20, streaming_aware=False).map(ev)
+        assert ev.is_feasible(res.mapping)
+
+    def test_timeout_falls_back_gracefully(self, platform):
+        g = random_sp_graph(20, np.random.default_rng(7))
+        ev = make_evaluator(g, platform, n_random=5)
+        res = WgdpTimeMapper(time_limit_s=0.05).map(ev)
+        # must return *something* feasible (often the CPU fallback)
+        assert ev.is_feasible(res.mapping)
+
+
+class TestZhouLiu:
+    def test_tiny_instance(self, platform):
+        g = random_sp_graph(5, np.random.default_rng(9))
+        ev = make_evaluator(g, platform, n_random=5)
+        res = ZhouLiuMapper(time_limit_s=60).map(ev)
+        assert ev.is_feasible(res.mapping)
+        assert res.stats["n_variables"] > 0
+
+    def test_slot_cap_shrinks_problem(self, platform):
+        g = random_sp_graph(6, np.random.default_rng(10))
+        ev = make_evaluator(g, platform, n_random=5)
+        full = ZhouLiuMapper(time_limit_s=30)
+        capped = ZhouLiuMapper(time_limit_s=30, max_slots=2)
+        r_full = full.map(ev)
+        r_capped = capped.map(ev)
+        assert r_capped.stats["n_variables"] < r_full.stats["n_variables"]
+        assert ev.is_feasible(r_capped.mapping)
+
+    def test_timeout_falls_back_gracefully(self, platform):
+        g = random_sp_graph(12, np.random.default_rng(11))
+        ev = make_evaluator(g, platform, n_random=5)
+        res = ZhouLiuMapper(time_limit_s=0.05).map(ev)
+        assert ev.is_feasible(res.mapping)

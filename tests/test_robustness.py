@@ -1,0 +1,144 @@
+"""Failure-injection and robustness tests across module boundaries.
+
+These verify that malformed inputs fail *loudly and early* (validation
+errors) instead of corrupting downstream results — the failure mode that
+matters most in a simulation library, where a silently wrong number looks
+exactly like a real result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import CostModel, MappingEvaluator
+from repro.graphs import GraphError, TaskGraph
+from repro.graphs.generators import random_sp_graph
+from repro.io import graph_from_dict, graph_to_dict
+from repro.mappers import NsgaIIMapper, sn_first_fit, sp_first_fit
+from repro.platform import Platform, cpu, dual_fpga_platform, fpga, gpu, paper_platform
+from tests.conftest import make_evaluator
+
+
+class TestInvalidGraphs:
+    def test_cycle_rejected_by_cost_model(self):
+        g = TaskGraph()
+        g.add_edge(0, 1)
+        g.add_edge(1, 0)
+        with pytest.raises(GraphError):
+            CostModel(g, paper_platform())
+
+    def test_negative_data_rejected(self):
+        g = TaskGraph()
+        g.add_edge(0, 1, data_mb=-5.0)
+        with pytest.raises(GraphError, match="negative data"):
+            g.validate()
+
+    def test_bad_params_rejected_by_evaluator(self, platform):
+        g = TaskGraph()
+        g.add_task(0, complexity=-1.0)
+        with pytest.raises(GraphError):
+            MappingEvaluator(g, platform)
+
+    def test_json_with_cycle_rejected(self):
+        doc = {
+            "format": "repro-taskgraph",
+            "version": 1,
+            "tasks": [{"id": 0}, {"id": 1}],
+            "edges": [
+                {"src": 0, "dst": 1, "data_mb": 1.0},
+                {"src": 1, "dst": 0, "data_mb": 1.0},
+            ],
+        }
+        with pytest.raises(GraphError):
+            graph_from_dict(doc)
+
+
+class TestDegenerateGraphs:
+    def test_single_task_pipeline(self, platform):
+        g = TaskGraph()
+        g.add_task(0, complexity=3.0, streamability=2.0)
+        ev = make_evaluator(g, platform)
+        for mapper in (sn_first_fit(), sp_first_fit()):
+            res = mapper.map(ev)
+            assert np.isfinite(res.makespan)
+
+    def test_two_disconnected_components(self, platform):
+        g = TaskGraph.from_edges([(0, 1), (2, 3)])
+        from repro.graphs import augment
+
+        augment(g, np.random.default_rng(0))
+        ev = make_evaluator(g, platform)
+        res = sp_first_fit().map(ev)
+        assert ev.is_feasible(res.mapping)
+
+    def test_star_graph(self, platform):
+        g = TaskGraph()
+        for i in range(1, 12):
+            g.add_edge(0, i)
+        from repro.graphs import augment
+
+        augment(g, np.random.default_rng(1))
+        ev = make_evaluator(g, platform)
+        res = sp_first_fit().map(ev, rng=np.random.default_rng(2))
+        assert res.makespan <= ev.cpu_construction_makespan * (1 + 1e-9)
+
+    def test_zero_complexity_tasks_are_free(self, platform):
+        g = TaskGraph()
+        g.add_task(0, complexity=0.0)
+        g.add_task(1, complexity=0.0)
+        g.add_edge(0, 1, data_mb=0.0)
+        model = CostModel(g, platform)
+        assert model.simulate([0, 0]) == pytest.approx(0.0)
+
+
+class TestMultiFpgaFeasibility:
+    def test_decomposition_on_dual_fpga(self):
+        platform = dual_fpga_platform()
+        g = random_sp_graph(25, np.random.default_rng(3))
+        ev = make_evaluator(g, platform)
+        res = sp_first_fit().map(ev, rng=np.random.default_rng(4))
+        assert ev.is_feasible(res.mapping)
+        usage = ev.model.area_usage(res.mapping)
+        caps = platform.area_capacities()
+        for d, used in usage.items():
+            assert used <= caps[d] + 1e-9
+
+    def test_ga_repair_on_dual_fpga(self):
+        platform = dual_fpga_platform()
+        g = TaskGraph()
+        for i in range(15):
+            g.add_task(i, complexity=10.0, streamability=8.0, area=15.0)
+        for i in range(14):
+            g.add_edge(i, i + 1)
+        ev = make_evaluator(g, platform)  # capacities 60/60; 225 total area
+        res = NsgaIIMapper(generations=8).map(ev, rng=np.random.default_rng(5))
+        assert ev.is_feasible(res.mapping)
+
+
+class TestPropertyRoundtrips:
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 40), seed=st.integers(0, 2**31))
+    def test_json_roundtrip_preserves_everything(self, n, seed):
+        g = random_sp_graph(n, np.random.default_rng(seed))
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.tasks() == g.tasks()
+        assert back.edges() == g.edges()
+        for t in g.tasks():
+            a, b = g.params(t), back.params(t)
+            assert a.complexity == pytest.approx(b.complexity)
+            assert a.parallelizability == pytest.approx(b.parallelizability)
+            assert a.streamability == pytest.approx(b.streamability)
+            assert a.area == pytest.approx(b.area)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_mapping_improvement_reproducible(self, seed):
+        """Same seeds end-to-end => byte-identical mapping decisions."""
+        def run():
+            g = random_sp_graph(15, np.random.default_rng(seed))
+            ev = make_evaluator(g, paper_platform(), seed=seed, n_random=5)
+            res = sp_first_fit().map(ev, rng=np.random.default_rng(seed))
+            return res.mapping.tolist(), ev.relative_improvement(res.mapping)
+
+        assert run() == run()

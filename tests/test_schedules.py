@@ -1,0 +1,77 @@
+"""Tests for schedule generation (BFS + random topological suites)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    ScheduleSuite,
+    bfs_schedule,
+    random_topological_schedule,
+)
+from repro.graphs.generators import random_almost_sp_graph
+
+
+def assert_topological(g, order_indices):
+    tasks = g.tasks()
+    pos = {tasks[i]: k for k, i in enumerate(order_indices)}
+    assert len(pos) == g.n_tasks
+    for u, v in g.edges():
+        assert pos[u] < pos[v]
+
+
+class TestBfs:
+    def test_topological(self, fig2_graph):
+        assert_topological(fig2_graph, bfs_schedule(fig2_graph))
+
+    def test_level_order(self, fig1_graph):
+        order = bfs_schedule(fig1_graph)
+        tasks = fig1_graph.tasks()
+        level = {t: i for i, lvl in enumerate(fig1_graph.bfs_levels()) for t in lvl}
+        seen_levels = [level[tasks[i]] for i in order]
+        assert seen_levels == sorted(seen_levels)
+
+
+class TestRandom:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(2, 40),
+        k=st.integers(0, 20),
+        seed=st.integers(0, 2**31),
+    )
+    def test_always_topological(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        g = random_almost_sp_graph(n, k, rng, augmented=False)
+        order = random_topological_schedule(g, rng)
+        assert_topological(g, order)
+
+    def test_deterministic_for_seed(self, fig2_graph):
+        a = random_topological_schedule(fig2_graph, np.random.default_rng(1))
+        b = random_topological_schedule(fig2_graph, np.random.default_rng(1))
+        assert a == b
+
+    def test_varies_across_draws(self, rng):
+        g = random_almost_sp_graph(30, 0, rng, augmented=False)
+        orders = {
+            tuple(random_topological_schedule(g, rng)) for _ in range(10)
+        }
+        assert len(orders) > 1
+
+
+class TestSuite:
+    def test_paper_suite_size(self, fig1_graph):
+        suite = ScheduleSuite.paper(fig1_graph, np.random.default_rng(0))
+        assert len(suite) == 101
+        for order in suite.orders:
+            assert_topological(fig1_graph, order)
+
+    def test_custom_random_count(self, fig1_graph):
+        suite = ScheduleSuite.paper(
+            fig1_graph, np.random.default_rng(0), n_random=5
+        )
+        assert len(suite) == 6
+
+    def test_bfs_only(self, fig1_graph):
+        suite = ScheduleSuite.bfs_only(fig1_graph)
+        assert len(suite) == 1
+        assert suite.orders[0] == bfs_schedule(fig1_graph)

@@ -1,0 +1,89 @@
+"""Tests for candidate-subgraph extraction (paper Sec. III-B/C)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import random_almost_sp_graph, random_sp_graph
+from repro.sp import (
+    grow_decomposition_forest,
+    candidates_from_forest,
+    series_parallel_candidates,
+    single_node_candidates,
+)
+
+
+class TestSingleNode:
+    def test_one_candidate_per_task(self, fig1_graph):
+        cands = single_node_candidates(fig1_graph)
+        assert len(cands) == 6
+        assert all(len(c) == 1 for c in cands)
+        assert {next(iter(c)) for c in cands} == set(fig1_graph.tasks())
+
+
+class TestSeriesParallel:
+    def test_fig1_matches_paper_exactly(self, fig1_graph):
+        """Paper Sec. III-C: S = {{0}..{5}, {1,2,3}, {0,1,2,3,4,5}}."""
+        cands = series_parallel_candidates(fig1_graph)
+        as_sets = {tuple(sorted(c)) for c in cands}
+        expected = {
+            (0,), (1,), (2,), (3,), (4,), (5,),
+            (1, 2, 3),
+            (0, 1, 2, 3, 4, 5),
+        }
+        assert as_sets == expected
+
+    def test_superset_of_single_nodes(self, fig2_graph):
+        cands = series_parallel_candidates(
+            fig2_graph, rng=np.random.default_rng(0)
+        )
+        singles = {frozenset({t}) for t in fig2_graph.tasks()}
+        assert singles <= set(cands)
+
+    def test_no_virtual_nodes_leak(self, fig2_graph):
+        cands = series_parallel_candidates(
+            fig2_graph, rng=np.random.default_rng(0)
+        )
+        tasks = set(fig2_graph.tasks())
+        for c in cands:
+            assert set(c) <= tasks
+
+    def test_deterministic_order(self, fig2_graph):
+        a = series_parallel_candidates(fig2_graph, cut_strategy="first")
+        b = series_parallel_candidates(fig2_graph, cut_strategy="first")
+        assert a == b
+
+    def test_candidates_from_prebuilt_forest(self, fig1_graph):
+        forest = grow_decomposition_forest(fig1_graph, cut_strategy="first")
+        cands = candidates_from_forest(fig1_graph, forest)
+        assert frozenset({1, 2, 3}) in cands
+
+    def test_ordered_by_size_first(self, fig1_graph):
+        cands = series_parallel_candidates(fig1_graph)
+        sizes = [len(c) for c in cands]
+        assert sizes == sorted(sizes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(3, 40),
+        k=st.integers(0, 20),
+        seed=st.integers(0, 2**31),
+    )
+    def test_property_linear_candidate_count(self, n, k, seed):
+        """Sec. III-A: the candidate set must stay O(n) (here: <= 3n)."""
+        g = random_almost_sp_graph(
+            n, k, np.random.default_rng(seed), augmented=False
+        )
+        cands = series_parallel_candidates(g, rng=np.random.default_rng(seed))
+        assert len(cands) <= 3 * n
+        assert len(cands) >= n  # at least the singles
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(3, 60), seed=st.integers(0, 2**31))
+    def test_property_candidates_cover_whole_graph_for_sp(self, n, seed):
+        g = random_sp_graph(n, np.random.default_rng(seed), augmented=False)
+        cands = series_parallel_candidates(g, rng=np.random.default_rng(seed))
+        # the root parallel/series operation covers all tasks
+        assert frozenset(g.tasks()) in cands or any(
+            len(c) >= n - 2 for c in cands
+        )

@@ -1,0 +1,92 @@
+"""Tests for the task execution-time model."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import TaskGraph, TaskParams
+from repro.platform import (
+    OPS_PER_MB,
+    cpu,
+    exec_time_table,
+    execution_time,
+    fpga,
+    gpu,
+    paper_platform,
+    work_gops,
+)
+
+
+class TestWork:
+    def test_work_scales_linearly(self):
+        assert work_gops(2.0, 100.0) == pytest.approx(2 * work_gops(1.0, 100.0))
+        assert work_gops(1.0, 200.0) == pytest.approx(2 * work_gops(1.0, 100.0))
+
+    def test_units(self):
+        assert work_gops(1.0, 1.0) == pytest.approx(OPS_PER_MB / 1e9)
+
+
+class TestExecutionTime:
+    def test_zero_work_is_free(self):
+        p = TaskParams(complexity=0.0)
+        assert execution_time(p, 100.0, cpu()) == 0.0
+
+    def test_setup_included(self):
+        p = TaskParams(complexity=1.0)
+        d = cpu(setup_s=0.5)
+        assert execution_time(p, 100.0, d) > 0.5
+
+    def test_more_complexity_is_slower(self):
+        d = cpu()
+        t1 = execution_time(TaskParams(complexity=1.0), 100.0, d)
+        t2 = execution_time(TaskParams(complexity=5.0), 100.0, d)
+        assert t2 > t1
+
+    def test_parallelizability_helps_on_cpu_gpu(self):
+        for d in (cpu(), gpu()):
+            seq = execution_time(TaskParams(1.0, 0.0), 100.0, d)
+            par = execution_time(TaskParams(1.0, 1.0), 100.0, d)
+            assert par < seq
+
+    def test_parallelizability_irrelevant_on_fpga(self):
+        d = fpga()
+        a = execution_time(TaskParams(1.0, 0.0, 5.0), 100.0, d)
+        b = execution_time(TaskParams(1.0, 1.0, 5.0), 100.0, d)
+        assert a == pytest.approx(b)
+
+    def test_streamability_helps_on_fpga(self):
+        d = fpga()
+        slow = execution_time(TaskParams(1.0, 0.0, 1.0), 100.0, d)
+        fast = execution_time(TaskParams(1.0, 0.0, 10.0), 100.0, d)
+        assert fast < slow
+
+    def test_sequential_task_prefers_cpu_over_gpu(self):
+        """A GPU lane is slower than a CPU core (platform heterogeneity)."""
+        p = TaskParams(complexity=5.0, parallelizability=0.0)
+        assert execution_time(p, 100.0, cpu()) < execution_time(p, 100.0, gpu())
+
+    def test_parallel_task_prefers_gpu(self):
+        p = TaskParams(complexity=5.0, parallelizability=1.0)
+        assert execution_time(p, 100.0, gpu()) < execution_time(p, 100.0, cpu())
+
+
+class TestTable:
+    def test_shape_and_order(self, rng):
+        g = TaskGraph.from_edges([(0, 1), (1, 2)])
+        from repro.graphs import augment
+
+        augment(g, rng)
+        platform = paper_platform()
+        table = exec_time_table(g, platform)
+        assert table.shape == (3, 3)
+        for i, t in enumerate(g.tasks()):
+            expected = execution_time(
+                g.params(t), g.input_mb(t), platform.devices[0]
+            )
+            assert table[i, 0] == pytest.approx(expected)
+
+    def test_all_times_positive(self, rng):
+        from repro.graphs.generators import random_sp_graph
+
+        g = random_sp_graph(20, rng)
+        table = exec_time_table(g, paper_platform())
+        assert np.all(table > 0)

@@ -1,0 +1,111 @@
+"""Deeper per-family shape tests for the workflow generators.
+
+Each family's Table I behaviour is driven by its topology; these tests pin
+the topological signatures the paper's commentary relies on (beyond the
+basic checks in test_workflows.py).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import make_workflow
+from repro.graphs.generators.workflows import (
+    make_1000genome,
+    make_blast,
+    make_cycles,
+    make_montage,
+    make_soykb,
+    make_srasearch,
+)
+from repro.sp import sp_distance
+
+
+class TestBlast:
+    def test_split_map_merge(self, rng):
+        g = make_blast(30, rng)
+        sources = g.sources()
+        assert len(sources) == 1
+        split = sources[0]
+        # the split fans out to all worker tasks
+        workers = g.successors(split)
+        assert len(workers) >= 25
+        # all workers converge on one concat task
+        concats = {s for w in workers for s in g.successors(w)}
+        assert len(concats) == 1
+
+    def test_is_series_parallel_shape(self, rng):
+        """Split-map-merge is SP: no cuts expected."""
+        g = make_blast(25, rng)
+        assert sp_distance(g) == 0.0
+
+
+class TestSrasearch:
+    def test_two_stage_fan(self, rng):
+        g = make_srasearch(30, rng)
+        # dump -> align pairs: every source has exactly one successor
+        for s in g.sources():
+            assert g.out_degree(s) == 1
+        assert len(g.sinks()) == 1
+
+
+class TestCycles:
+    def test_independent_chains_with_global_summaries(self, rng):
+        g = make_cycles(40, rng)
+        sinks = g.sinks()
+        assert len(sinks) == 2  # plots + summary
+        # chain structure: sim -> fert -> out
+        for s in g.sources():
+            (fert,) = g.successors(s)
+            (out,) = g.successors(fert)
+            assert set(g.successors(out)) == set(sinks)
+
+
+class Test1000Genome:
+    def test_population_consumers(self, rng):
+        g = make_1000genome(60, rng)
+        # merge tasks exist with large in-degree (the individuals fan)
+        max_indeg = max(g.in_degree(t) for t in g.tasks())
+        assert max_indeg >= 3
+        # sinks are the per-population overlap/frequency consumers
+        sinks = g.sinks()
+        assert len(sinks) >= 4
+        for t in sinks:
+            assert g.in_degree(t) == 2  # merge + sifting
+
+
+class TestSoykb:
+    def test_per_sample_chains_into_funnel(self, rng):
+        g = make_soykb(40, rng)
+        # exactly one final chain select -> filter -> merge
+        sinks = g.sinks()
+        assert len(sinks) == 1
+        depth = g.longest_path_length()
+        assert depth >= 7  # align chain (4) + haplo + gvcf + funnel (3)
+
+
+class TestMontageScaling:
+    @pytest.mark.parametrize("size", [40, 120, 400])
+    def test_tail_dominance_is_size_independent(self, size):
+        g = make_montage(size, np.random.default_rng(1))
+        order = g.topological_order()
+        tail = order[-4:]
+        tail_work = sum(g.params(t).complexity for t in tail)
+        total = sum(g.params(t).complexity for t in g.tasks())
+        assert tail_work / total > 0.2
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "family",
+        ["1000genome", "blast", "bwa", "cycles", "epigenomics",
+         "montage", "seismology", "soykb", "srasearch"],
+    )
+    def test_same_seed_same_graph(self, family):
+        a = make_workflow(family, 35, np.random.default_rng(11))
+        b = make_workflow(family, 35, np.random.default_rng(11))
+        assert a.edges() == b.edges()
+        assert all(
+            a.params(t).complexity == b.params(t).complexity
+            for t in a.tasks()
+        )
+        assert all(a.data_mb(u, v) == b.data_mb(u, v) for u, v in a.edges())

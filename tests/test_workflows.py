@@ -1,0 +1,117 @@
+"""Tests for the scientific-workflow generators (Table I substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import graph_stats
+from repro.graphs.generators import (
+    WORKFLOW_FAMILIES,
+    augment_workflow,
+    benchmark_set,
+    benchmark_sizes,
+    make_workflow,
+)
+from repro.graphs.generators.workflows import (
+    make_bwa,
+    make_epigenomics,
+    make_montage,
+    make_seismology,
+)
+from repro.sp import grow_decomposition_forest
+
+
+@pytest.mark.parametrize("family", sorted(WORKFLOW_FAMILIES))
+def test_every_family_builds_valid_dags(family, rng):
+    for size in (15, 60):
+        g = make_workflow(family, size, rng)
+        g.validate()
+        assert g.n_tasks >= 5
+
+
+@pytest.mark.parametrize("family", sorted(WORKFLOW_FAMILIES))
+def test_size_scaling(family):
+    small = make_workflow(family, 20, np.random.default_rng(0))
+    large = make_workflow(family, 200, np.random.default_rng(0))
+    assert large.n_tasks > small.n_tasks
+    # sizes should be in the right ballpark (within a factor of ~2)
+    assert large.n_tasks >= 100
+
+
+def test_unknown_family_raises(rng):
+    with pytest.raises(ValueError, match="unknown workflow family"):
+        make_workflow("does-not-exist", 10, rng)
+
+
+def test_montage_has_heavy_tail(rng):
+    """Paper Sec. IV-D: a few end-of-graph montage tasks dominate the work."""
+    g = make_montage(100, rng)
+    order = g.topological_order()
+    tail = order[-4:]
+    tail_work = sum(g.params(t).complexity for t in tail)
+    total = sum(g.params(t).complexity for t in g.tasks())
+    assert tail_work / total > 0.25
+
+
+def test_epigenomics_is_parallel_chains(rng):
+    """Paper Sec. IV-D: epigenomics = long parallel chains (SP-friendly)."""
+    g = make_epigenomics(60, rng)
+    stats = graph_stats(g)
+    assert stats.depth >= 5
+    # chain interior nodes dominate: most tasks have in=out=1
+    interior = sum(
+        1 for t in g.tasks() if g.in_degree(t) == 1 and g.out_degree(t) == 1
+    )
+    assert interior / g.n_tasks > 0.5
+    # and the decomposition forest needs no (or almost no) cuts
+    forest = grow_decomposition_forest(g, rng=np.random.default_rng(0))
+    assert forest.n_cuts <= 2
+
+
+def test_bwa_is_data_bound(rng):
+    """bwa must carry tiny compute per MB moved (no acceleration possible)."""
+    g = make_bwa(40, rng)
+    total_complexity = sum(g.params(t).complexity for t in g.tasks())
+    total_data = sum(g.data_mb(u, v) for u, v in g.edges())
+    assert total_complexity / g.n_tasks < 1.0          # tiny tasks
+    assert total_data / g.n_edges > 100.0              # heavy edges
+
+
+def test_seismology_tiny_fan(rng):
+    g = make_seismology(50, rng)
+    assert len(g.sinks()) == 1
+    sink = g.sinks()[0]
+    assert g.in_degree(sink) == g.n_tasks - 1
+    assert max(g.params(t).complexity for t in g.tasks()) < 1.0
+
+
+def test_augment_workflow_keeps_structure(rng):
+    g = make_workflow("blast", 20, np.random.default_rng(1))
+    complexities = {t: g.params(t).complexity for t in g.tasks()}
+    data = {e: g.data_mb(*e) for e in g.edges()}
+    augment_workflow(g, rng)
+    for t in g.tasks():
+        p = g.params(t)
+        assert p.complexity == complexities[t]  # structural weights kept
+        assert 0.0 <= p.parallelizability <= 1.0
+        assert p.streamability > 0
+        assert p.area == pytest.approx(0.25 * p.complexity)
+    for e in g.edges():
+        assert g.data_mb(*e) == data[e]  # data sizes kept
+
+
+def test_benchmark_sizes_scales():
+    for scale in ("smoke", "small", "paper"):
+        sizes = benchmark_sizes(scale)
+        assert set(sizes) == set(WORKFLOW_FAMILIES)
+    assert max(benchmark_sizes("paper")["epigenomics"]) == 1695
+    with pytest.raises(ValueError):
+        benchmark_sizes("huge")
+
+
+def test_benchmark_set_contents(rng):
+    sets = benchmark_set(rng, "smoke", families=["blast", "montage"])
+    assert sorted(sets) == ["blast", "montage"]
+    for graphs in sets.values():
+        assert len(graphs) == 2
+        for g in graphs:
+            g.validate()
