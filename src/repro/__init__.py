@@ -17,8 +17,14 @@ Public API tour
 - :mod:`repro.mappers` — SingleNode/SeriesParallel decomposition mappers
   (with FirstFit / gamma-threshold heuristics), HEFT, PEFT, NSGA-II and
   three MILP baselines;
+- :mod:`repro.runtime` — discrete-event execution engine that stress-tests
+  static mappings under stochastic runtime noise, device slowdowns and
+  failures, and multi-workflow arrival streams (``repro simulate`` on the
+  command line); with zero noise it reproduces the analytic evaluator
+  exactly;
 - :mod:`repro.experiments` — drivers regenerating every figure and table of
-  the paper's evaluation.
+  the paper's evaluation, plus the runtime-robustness sweep
+  (:mod:`repro.experiments.robustness`).
 
 Quickstart
 ----------
@@ -34,8 +40,11 @@ Quickstart
 True
 """
 
-from . import evaluation, graphs, mappers, platform, sp
+from . import evaluation, graphs, mappers, platform, runtime, sp
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["evaluation", "graphs", "mappers", "platform", "sp", "__version__"]
+__all__ = [
+    "evaluation", "graphs", "mappers", "platform", "runtime", "sp",
+    "__version__",
+]

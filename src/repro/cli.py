@@ -7,6 +7,8 @@ Commands
 ``map``        map a graph with any algorithm, write the mapping JSON
 ``evaluate``   evaluate a mapping (makespan, improvement, optional Gantt)
 ``compare``    run several algorithms head-to-head on one graph
+``simulate``   stress-test a mapping in the runtime engine (noise, failures,
+               arrival streams) and print a robustness/throughput report
 ``experiment`` regenerate a paper figure/table (fig3..fig7, table1)
 
 Examples
@@ -18,6 +20,9 @@ Examples
     python -m repro map graph.json --algorithm sp-first-fit -o mapping.json
     python -m repro evaluate graph.json mapping.json --gantt
     python -m repro compare graph.json --algorithms heft peft sp-first-fit
+    python -m repro simulate graph.json mapping.json --noise lognormal \
+        --sigma 0.3 --replications 50
+    python -m repro simulate graph.json --algorithm heft --fail vega56@0.5
     python -m repro experiment fig4 --scale smoke
 """
 
@@ -93,10 +98,10 @@ def _load_platform(args) -> object:
     return paper_platform()
 
 
-def _evaluator(graph, args) -> MappingEvaluator:
+def _evaluator(graph, args, platform=None) -> MappingEvaluator:
     return MappingEvaluator(
         graph,
-        _load_platform(args),
+        platform if platform is not None else _load_platform(args),
         rng=np.random.default_rng(getattr(args, "eval_seed", 0)),
         n_random_schedules=getattr(args, "schedules", 100),
     )
@@ -217,8 +222,189 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _parse_device(spec: str, platform) -> int:
+    try:
+        return platform.index_of(spec)
+    except KeyError:
+        pass
+    try:
+        d = int(spec)
+    except ValueError:
+        names = ", ".join(dev.name for dev in platform.devices)
+        raise ValueError(
+            f"unknown device {spec!r}; use an index or one of: {names}"
+        ) from None
+    if not 0 <= d < platform.n_devices:
+        raise ValueError(f"device index {d} out of range")
+    return d
+
+
+def _parse_scenarios(args, platform) -> List:
+    """``--fail DEV@T`` and ``--slowdown DEV@T:FACTOR`` into scenario objects."""
+    from .runtime import DeviceFailure, DeviceSlowdown
+
+    scenarios = []
+    for spec in args.fail or []:
+        try:
+            dev, at = spec.rsplit("@", 1)
+            scenarios.append(
+                DeviceFailure(float(at), device=_parse_device(dev, platform))
+            )
+        except ValueError as exc:
+            raise ValueError(f"--fail {spec!r}: expected DEV@T ({exc})") from None
+    for spec in args.slowdown or []:
+        try:
+            dev, rest = spec.rsplit("@", 1)
+            at, factor = rest.split(":", 1)
+            scenarios.append(DeviceSlowdown(
+                float(at), device=_parse_device(dev, platform),
+                factor=float(factor),
+            ))
+        except ValueError as exc:
+            raise ValueError(
+                f"--slowdown {spec!r}: expected DEV@T:FACTOR ({exc})"
+            ) from None
+    return scenarios
+
+
+def _make_noise(args):
+    from .runtime import GammaNoise, LognormalNoise, NoNoise
+
+    if args.noise == "none":
+        if args.sigma is not None or args.transfer_noise is not None:
+            raise ValueError(
+                "--sigma/--transfer-noise have no effect without "
+                "--noise lognormal|gamma"
+            )
+        return NoNoise()
+    sigma = 0.2 if args.sigma is None else args.sigma
+    transfer = 0.0 if args.transfer_noise is None else args.transfer_noise
+    if args.noise == "lognormal":
+        return LognormalNoise(sigma, transfer_sigma=transfer)
+    return GammaNoise(sigma, transfer_cv=transfer)
+
+
+def cmd_simulate(args) -> int:
+    from .evaluation.costmodel import CostModel
+    from .runtime import (
+        RuntimeEngine,
+        periodic_stream,
+        replicate,
+        robustness_report,
+        simulate_mapping,
+        throughput_report,
+    )
+
+    # cheap argument validation first — before any graph/mapper work
+    if args.mapping and args.algorithm:
+        print("give a mapping file or --algorithm, not both", file=sys.stderr)
+        return 2
+    if not args.mapping and not args.algorithm:
+        print("need a mapping file or --algorithm", file=sys.stderr)
+        return 2
+    if args.replications < 1:
+        print("--replications must be at least 1", file=sys.stderr)
+        return 2
+    if args.arrivals < 1:
+        print("--arrivals must be at least 1", file=sys.stderr)
+        return 2
+    if args.replications > 1 and args.arrivals > 1:
+        print("--arrivals and --replications are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.gantt and (args.replications > 1 or args.arrivals > 1):
+        print("--gantt needs a single run (no --replications/--arrivals)",
+              file=sys.stderr)
+        return 2
+    try:
+        noise = _make_noise(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.replications > 1 and noise.deterministic:
+        print("deterministic replications are identical; --replications "
+              "needs a nonzero --noise level", file=sys.stderr)
+        return 2
+
+    g = load_graph(args.graph)
+    platform = _load_platform(args)
+    try:
+        scenarios = _parse_scenarios(args, platform)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    model = None
+    if args.mapping:
+        with open(args.mapping) as fh:
+            mapping = mapping_from_dict(json.load(fh), g, platform)
+        source = "stored mapping"
+    else:
+        evaluator = _evaluator(g, args, platform)
+        mapper = MAPPER_FACTORIES[args.algorithm]()
+        result = mapper.map(evaluator, rng=np.random.default_rng(args.seed))
+        mapping, source = result.mapping, mapper.name
+        model = evaluator.model
+
+    mapping = list(mapping)
+    if model is None:
+        model = CostModel(g, platform)
+    if not model.is_feasible(mapping):
+        print(f"mapping violates an area budget "
+              f"(usage {model.area_usage(mapping)})", file=sys.stderr)
+        return 2
+    analytic = model.simulate(mapping)
+
+    print(f"mapping           : {source}")
+    print(f"analytic makespan : {analytic * 1e3:.2f} ms")
+    for scn in scenarios:
+        print(f"scenario          : {scn.describe()}")
+
+    try:
+        if args.arrivals > 1:
+            jobs = periodic_stream(g, mapping, args.arrivals, period=args.period)
+            engine = RuntimeEngine(platform, noise=noise, scenarios=scenarios)
+            trace = engine.run(jobs, rng=args.seed)
+            print(f"stream            : {args.arrivals} arrivals, "
+                  f"period {args.period * 1e3:g} ms")
+            print(f"serving           : {throughput_report(trace)}")
+            return 0
+
+        if args.replications > 1:
+            traces = replicate(
+                g, platform, mapping, n=args.replications, noise=noise,
+                scenarios=scenarios, seed=args.seed,
+            )
+            report = robustness_report(traces, analytic)
+            print(f"replications      : {report.n} ({noise.describe()})")
+            print(f"mean makespan     : {report.mean * 1e3:.2f} ms "
+                  f"(degradation {report.degradation:+.1%})")
+            print(f"p95 makespan      : {report.p95 * 1e3:.2f} ms "
+                  f"(degradation {report.p95_degradation:+.1%})")
+            print(f"best / worst      : {report.best * 1e3:.2f} ms / "
+                  f"{report.worst * 1e3:.2f} ms")
+            return 0
+
+        trace = simulate_mapping(
+            g, platform, mapping, noise=noise, scenarios=scenarios,
+            rng=args.seed,
+        )
+    except ValueError as exc:  # bad stream/job parameters
+        print(exc, file=sys.stderr)
+        return 2
+    except RuntimeError as exc:  # the scenario left no feasible platform
+        print(f"simulation aborted: {exc}", file=sys.stderr)
+        return 1
+    print(f"simulated makespan: {trace.makespan * 1e3:.2f} ms")
+    if trace.n_killed:
+        print(f"tasks killed      : {trace.n_killed}")
+    if args.gantt:
+        print(render_gantt(trace, model))
+    return 0
+
+
 def cmd_experiment(args) -> int:
-    from .experiments import fig3, fig4, fig5, fig6, fig7, table1
+    from .experiments import fig3, fig4, fig5, fig6, fig7, robustness, table1
     from .experiments.reporting import print_sweep
     from .experiments.table1 import format_table
 
@@ -228,6 +414,8 @@ def cmd_experiment(args) -> int:
     }
     if args.name == "table1":
         print(format_table(table1.run(scale=args.scale)))
+    elif args.name == "robustness":
+        robustness.print_report(robustness.run(scale=args.scale))
     else:
         print_sweep(drivers[args.name](scale=args.scale))
     return 0
@@ -294,9 +482,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedules", type=int, default=100)
     p.set_defaults(func=cmd_compare)
 
+    p = sub.add_parser(
+        "simulate",
+        help="stress-test a mapping in the runtime engine",
+    )
+    p.add_argument("graph")
+    p.add_argument("mapping", nargs="?",
+                   help="mapping JSON (or use --algorithm to map first)")
+    p.add_argument("--algorithm", choices=sorted(MAPPER_FACTORIES),
+                   help="map the graph with this algorithm instead of a file")
+    p.add_argument("--platform", help="platform JSON (default: paper platform)")
+    p.add_argument("--noise", default="none",
+                   choices=["none", "lognormal", "gamma"])
+    p.add_argument("--sigma", type=float, default=None,
+                   help="noise level (lognormal sigma / gamma cv; default 0.2)")
+    p.add_argument("--transfer-noise", type=float, default=None,
+                   help="noise level for data transfers (default: none)")
+    p.add_argument("--replications", type=int, default=1,
+                   help="independently-seeded runs for a robustness report")
+    p.add_argument("--fail", action="append", metavar="DEV@T",
+                   help="fail a device at time T (repeatable)")
+    p.add_argument("--slowdown", action="append", metavar="DEV@T:FACTOR",
+                   help="slow a device by FACTOR from time T (repeatable)")
+    p.add_argument("--arrivals", type=int, default=1,
+                   help="simulate N periodic arrivals of the workflow")
+    p.add_argument("--period", type=float, default=0.0,
+                   help="arrival period in seconds (with --arrivals)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eval-seed", type=int, default=0)
+    p.add_argument("--schedules", type=int, default=100)
+    p.add_argument("--gantt", action="store_true",
+                   help="render the simulated schedule as ASCII Gantt")
+    p.set_defaults(func=cmd_simulate)
+
     p = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p.add_argument("name",
-                   choices=["fig3", "fig4", "fig5", "fig6", "fig7", "table1"])
+                   choices=["fig3", "fig4", "fig5", "fig6", "fig7", "table1",
+                            "robustness"])
     p.add_argument("--scale", default="smoke",
                    choices=["smoke", "small", "paper"])
     p.set_defaults(func=cmd_experiment)

@@ -61,6 +61,14 @@ class ScaleConfig:
     table1_parameterizations: int   # random augmentations per graph (paper: 10)
     table1_generations: int
 
+    # Robustness — runtime-engine noise sweep (repro.experiments.robustness)
+    robustness_noise_levels: List[float] = field(
+        default_factory=lambda: [0.1, 0.3]
+    )
+    robustness_replications: int = 8
+    robustness_n_tasks: int = 30
+    robustness_graphs: int = 2
+
 
 SCALES: Dict[str, ScaleConfig] = {
     "smoke": ScaleConfig(
@@ -102,6 +110,10 @@ SCALES: Dict[str, ScaleConfig] = {
         table1_sizes_key="small",
         table1_parameterizations=3,
         table1_generations=100,
+        robustness_noise_levels=[0.05, 0.1, 0.2, 0.4],
+        robustness_replications=30,
+        robustness_n_tasks=60,
+        robustness_graphs=5,
     ),
     "paper": ScaleConfig(
         name="paper",
@@ -122,6 +134,10 @@ SCALES: Dict[str, ScaleConfig] = {
         table1_sizes_key="paper",
         table1_parameterizations=10,
         table1_generations=500,
+        robustness_noise_levels=[0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5],
+        robustness_replications=100,
+        robustness_n_tasks=100,
+        robustness_graphs=10,
     ),
 }
 

@@ -1,0 +1,653 @@
+"""Event-driven execution engine for static mappings under dynamic scenarios.
+
+The analytic evaluator (:class:`repro.evaluation.costmodel.CostModel`) is a
+*planning* recurrence: it claims device slots task by task along a fixed
+priority order, so a later-priority task may legally start earlier in time
+than the decision that scheduled it.  A naive work-conserving event
+simulator ("start the highest-priority ready task whenever a slot idles")
+does **not** reproduce that recurrence.  This engine therefore separates
+
+- **commitment** — scheduling decisions, made per device in strict priority
+  order the moment all information a decision needs is available (all
+  predecessor finish times known, all earlier-priority tasks on the device
+  committed), exactly like the analytic pass; and
+- **realization** — a classic discrete-event heap that plays the committed
+  ready/start/finish instants back in time order, drives the task state
+  machine released → ready → running → done, and logs the typed records of
+  :mod:`repro.runtime.events`.
+
+With zero noise and no scenarios the commitment cascade *is* the analytic
+recurrence (same tables, same slot tie-breaking, same streaming/drain
+rules), so the engine's makespan equals ``CostModel.simulate()`` exactly —
+the simulator is a strict generalization of the model, and the test suite
+pins this invariant across every graph generator family.
+
+Dynamic behaviour enters through interruptions, in the spirit of the
+HeSP simulation framework and dask.distributed's scheduler state machine:
+when a :class:`~repro.runtime.scenarios.DeviceSlowdown` or
+:class:`~repro.runtime.scenarios.DeviceFailure` fires at time *t*, every
+commitment that has not started yet (``start >= t``) is rolled back, running
+tasks on a failed device are killed and remapped, and the cascade replans
+from the surviving state — decisions made before *t* are never rewritten.
+Stochastic runtimes come from :mod:`repro.runtime.stochastic` factors that
+are drawn once per task at submission, so replanning never resamples noise
+and a seed fully determines the trace.
+
+Multi-job arrival streams share the platform FIFO: tasks of later arrivals
+queue behind all unfinished tasks of earlier jobs on the same device.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..evaluation.costmodel import CostModel
+from ..evaluation.trace import TaskTrace
+from ..graphs.taskgraph import TaskGraph
+from ..platform.platform import Platform
+from . import events as ev
+from .scenarios import DeviceFailure, DeviceSlowdown, Job, Scenario
+from .stochastic import NoNoise, PerturbationModel
+
+__all__ = ["RuntimeEngine", "JobResult", "RuntimeTrace", "simulate_mapping"]
+
+# heap ranks at equal timestamps: arrivals first; then readies and
+# finishes; then scenario mutations; then starts (so a task finishing
+# exactly at the scenario time counts as done, while one starting exactly
+# then has *not* begun and is replanned under the new platform state — a
+# slowdown at t therefore affects every start >= t); job completions
+# last.  Rolled-back realizations are invalidated by generation counters.
+_ARRIVAL, _READY, _FINISH, _SCENARIO, _START, _JOB_DONE = range(6)
+
+# task states (released -> ready -> running -> done; kills rewind to released)
+_RELEASED, _READY_ST, _RUNNING, _DONE = range(4)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: completion time and per-task execution records."""
+
+    name: str
+    arrival: float
+    completion: float          # absolute time incl. final host transfers
+    tasks: List[TaskTrace]
+    n_killed: int = 0          # task executions lost to device failures
+    n_remapped: int = 0        # tasks moved off a failed device
+
+    @property
+    def makespan(self) -> float:
+        """Job-relative makespan (completion − arrival)."""
+        return self.completion - self.arrival
+
+
+@dataclass
+class RuntimeTrace:
+    """Full record of one engine run.
+
+    Duck-compatible with :class:`repro.evaluation.trace.ScheduleTrace`
+    (``tasks`` / ``makespan`` / ``device_busy``), so single-job traces
+    render directly through :func:`repro.evaluation.trace.render_gantt`.
+    """
+
+    jobs: List[JobResult]
+    events: List[ev.Event]
+    makespan: float            # latest job completion (absolute time)
+    device_busy: List[float]   # summed execution seconds per device
+
+    @property
+    def tasks(self) -> List[TaskTrace]:
+        return [t for job in self.jobs for t in job.tasks]
+
+    @property
+    def n_killed(self) -> int:
+        return sum(job.n_killed for job in self.jobs)
+
+    def by_device(self, device: int) -> List[TaskTrace]:
+        return [t for t in self.tasks if t.device == device]
+
+    def total_wait(self) -> float:
+        return sum(t.waited for t in self.tasks)
+
+
+class _JobState:
+    """Mutable per-job simulation state (arrays indexed by task index)."""
+
+    __slots__ = (
+        "idx", "name", "arrival", "model", "order", "mapping",
+        "exec_f", "trans_f", "init_f", "final_f", "succs",
+        "committed", "done", "state", "gen",
+        "ready_val", "unknown", "drain", "streamed",
+        "start", "finish", "slot", "ready", "exec_actual", "fill_actual",
+        "remaining", "completion", "n_killed", "n_remapped",
+    )
+
+    def __init__(
+        self,
+        idx: int,
+        job: Job,
+        model: CostModel,
+        noise: PerturbationModel,
+        rng: np.random.Generator,
+    ) -> None:
+        n = model.n
+        self.idx = idx
+        self.name = job.name or f"job{idx}"
+        self.arrival = float(job.arrival)
+        self.model = model
+        order = list(job.order) if job.order is not None else list(model.bfs_order)
+        if sorted(order) != list(range(n)):
+            raise ValueError(f"job {self.name}: order is not a permutation")
+        self.order = order
+        self.mapping = [int(d) for d in job.mapping]
+        if len(self.mapping) != n:
+            raise ValueError(f"job {self.name}: mapping has wrong length")
+        if min(self.mapping) < 0 or max(self.mapping) >= model.m:
+            raise ValueError(f"job {self.name}: device index out of range")
+
+        # noise factors, sampled once in a fixed order (see stochastic.py)
+        self.exec_f = [1.0] * n
+        self.trans_f: List[List[float]] = [[] for _ in range(n)]
+        self.init_f = [1.0] * n
+        self.final_f = [1.0] * n
+        if not noise.deterministic:
+            for i in range(n):
+                self.exec_f[i] = noise.exec_factor(rng)
+                self.trans_f[i] = [
+                    noise.transfer_factor(rng) for _ in model._pred[i]
+                ]
+                self.init_f[i] = noise.transfer_factor(rng)
+                self.final_f[i] = noise.transfer_factor(rng)
+        else:
+            for i in range(n):
+                self.trans_f[i] = [1.0] * len(model._pred[i])
+
+        # successor contributions: succs[p] = [(consumer, pred-position)]
+        self.succs: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for s in range(n):
+            for k, (p, _row) in enumerate(model._pred[s]):
+                self.succs[p].append((s, k))
+
+        self.committed = [False] * n
+        self.done = [False] * n
+        self.state = [_RELEASED] * n
+        self.gen = [0] * n
+        self.unknown = [len(model._pred[i]) for i in range(n)]
+        self.ready_val = [0.0] * n
+        self.drain = [0.0] * n
+        self.streamed = [False] * n
+        self.start = [0.0] * n
+        self.finish = [0.0] * n
+        self.slot = [-1] * n
+        self.ready = [0.0] * n
+        self.exec_actual = [0.0] * n
+        self.fill_actual = [0.0] * n
+        self.remaining = n
+        self.completion = float("inf")
+        self.n_killed = 0
+        self.n_remapped = 0
+        for i in range(n):
+            self.ready_val[i] = self.input_ready(i)
+
+    def input_ready(self, i: int) -> float:
+        """Arrival plus the (jittered) host→device input transfer."""
+        return self.arrival + self.model._initial[i][self.mapping[i]] * self.init_f[i]
+
+    def end_time(self, i: int) -> float:
+        """Finish plus the (jittered) device→host result transfer."""
+        return self.finish[i] + self.model._final[i][self.mapping[i]] * self.final_f[i]
+
+
+class RuntimeEngine:
+    """Discrete-event executor of static mappings on one platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        noise: Optional[PerturbationModel] = None,
+        scenarios: Sequence[Scenario] = (),
+    ) -> None:
+        self.platform = platform
+        self.noise = noise if noise is not None else NoNoise()
+        self.scenarios = sorted(scenarios, key=lambda s: s.time)
+        m = platform.n_devices
+        for scn in self.scenarios:
+            if isinstance(scn, (DeviceSlowdown, DeviceFailure)):
+                if not 0 <= scn.device < m:
+                    raise ValueError(f"scenario device {scn.device} out of range")
+                if isinstance(scn, DeviceFailure) and scn.fallback is not None:
+                    if not 0 <= scn.fallback < m:
+                        raise ValueError(
+                            f"fallback device {scn.fallback} out of range"
+                        )
+            else:
+                raise TypeError(f"unknown scenario type {type(scn).__name__}")
+        self._models: Dict[int, CostModel] = {}
+
+    # ------------------------------------------------------------------
+    def _model_for(self, graph: TaskGraph) -> CostModel:
+        model = self._models.get(id(graph))
+        if model is None or model.graph is not graph:
+            if len(self._models) >= 64:  # bound a long-lived engine's cache
+                self._models.clear()
+            model = CostModel(graph, self.platform)
+            self._models[id(graph)] = model
+        return model
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: Union[Job, Sequence[Job]],
+        rng: Union[None, int, np.random.Generator] = None,
+    ) -> RuntimeTrace:
+        """Execute ``jobs`` under this engine's noise and scenarios."""
+        if isinstance(jobs, Job):
+            jobs = [jobs]
+        if not jobs:
+            raise ValueError("need at least one job")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(0 if rng is None else rng)
+
+        m = self.platform.n_devices
+        devices = self.platform.devices
+        self._speed = [1.0] * m
+        self._alive = [True] * m
+        self._avail: List[List[float]] = [
+            [0.0] * d.slots if d.serializes else [] for d in devices
+        ]
+        self._serializes = [d.serializes for d in devices]
+        self._streaming = [d.streaming for d in devices]
+        self._queues: List[List[Tuple[int, int]]] = [[] for _ in range(m)]
+        self._heads = [0] * m
+        self._busy = [0.0] * m
+        self._jobs: List[_JobState] = []
+        self._log: List[ev.Event] = []
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._now = 0.0
+
+        for k, job in enumerate(sorted(jobs, key=lambda j: j.arrival)):
+            self._push(job.arrival, _ARRIVAL, ("arrival", job))
+        for scn in self.scenarios:
+            self._push(scn.time, _SCENARIO, ("scenario", scn))
+
+        while self._heap:
+            t, rank, _seq, payload = heapq.heappop(self._heap)
+            self._now = t
+            kind = payload[0]
+            if kind == "arrival":
+                self._handle_arrival(payload[1], rng)
+            elif kind == "scenario":
+                self._apply_scenario(payload[1])
+            elif kind == "ready":
+                self._realize_ready(*payload[1:])
+            elif kind == "start":
+                self._realize_start(*payload[1:])
+            elif kind == "finish":
+                self._realize_finish(*payload[1:])
+            else:  # job-done
+                self._realize_job_done(payload[1])
+
+        for js in self._jobs:
+            if js.remaining > 0:
+                raise ValueError(
+                    f"job {js.name}: priority order is not topological "
+                    f"({js.remaining} task(s) never became ready)"
+                )
+        return self._build_trace()
+
+    # ------------------------------------------------------------------
+    # heap / log helpers
+    # ------------------------------------------------------------------
+    def _push(self, time: float, rank: int, payload: tuple) -> None:
+        heapq.heappush(self._heap, (time, rank, self._seq, payload))
+        self._seq += 1
+
+    def _emit(self, record: ev.Event) -> None:
+        self._log.append(record)
+
+    # ------------------------------------------------------------------
+    # arrivals
+    # ------------------------------------------------------------------
+    def _handle_arrival(self, job: Job, rng: np.random.Generator) -> None:
+        model = self._model_for(job.graph)
+        js = _JobState(len(self._jobs), job, model, self.noise, rng)
+        self._emit(ev.JobArrived(self._now, js.name))
+        # tasks targeted at an already-dead device move to a surviving,
+        # area-feasible device
+        dead = [i for i in range(model.n) if not self._alive[js.mapping[i]]]
+        if dead:
+            old_devices = {i: js.mapping[i] for i in dead}
+            for i, target in self._remap_tasks(js, dead, None).items():
+                js.mapping[i] = target
+                js.ready_val[i] = js.input_ready(i)
+                js.n_remapped += 1
+                self._emit(ev.TaskRemapped(
+                    self._now, js.name, model.tasks[i], old_devices[i], target
+                ))
+        if not model.is_feasible(js.mapping):
+            raise ValueError(
+                f"job {js.name}: mapping violates an area budget "
+                f"(usage {model.area_usage(js.mapping)})"
+            )
+        self._jobs.append(js)
+        for i in js.order:
+            self._queues[js.mapping[i]].append((js.idx, i))
+        self._cascade()
+
+    # ------------------------------------------------------------------
+    # commitment cascade (the analytic recurrence, incrementalized)
+    # ------------------------------------------------------------------
+    def _cascade(self) -> None:
+        work = deque(range(self.platform.n_devices))
+        while work:
+            d = work.popleft()
+            q = self._queues[d]
+            while self._heads[d] < len(q):
+                j, i = q[self._heads[d]]
+                js = self._jobs[j]
+                if js.unknown[i] > 0:
+                    break
+                self._heads[d] += 1
+                self._commit(js, i, d, work)
+
+    def _commit(self, js: _JobState, i: int, d: int, work: deque) -> None:
+        model = js.model
+        r = js.ready_val[i]
+        slot = -1
+        st = r if r > self._now else self._now
+        if self._serializes[d]:
+            slots_d = self._avail[d]
+            slot = 0
+            earliest = slots_d[0]
+            for k in range(1, len(slots_d)):
+                if slots_d[k] < earliest:
+                    earliest = slots_d[k]
+                    slot = k
+            if earliest > st:
+                st = earliest
+        speed = self._speed[d]
+        exec_t = model._exec[i][d] * js.exec_f[i] * speed
+        fin = st + exec_t
+        if js.drain[i] > fin:
+            fin = js.drain[i]
+        if slot >= 0:
+            self._avail[d][slot] = fin
+        js.committed[i] = True
+        js.ready[i] = r
+        js.start[i] = st
+        js.finish[i] = fin
+        js.slot[i] = slot
+        js.exec_actual[i] = exec_t
+        js.fill_actual[i] = model._fill[i][d] * js.exec_f[i] * speed
+
+        gen = js.gen[i]
+        if js.state[i] == _RELEASED:
+            self._push(max(r, self._now), _READY, ("ready", js.idx, i, gen))
+        self._push(st, _START, ("start", js.idx, i, gen))
+        self._push(fin, _FINISH, ("finish", js.idx, i, gen))
+
+        # propagate contributions to (necessarily uncommitted) successors
+        for s, k in js.succs[i]:
+            ds = js.mapping[s]
+            if ds == d and self._streaming[d]:
+                contrib = st + js.fill_actual[i]
+                js.streamed[s] = True
+                if fin > js.drain[s]:
+                    js.drain[s] = fin
+            else:
+                contrib = fin + model._pred[s][k][1][d][ds] * js.trans_f[s][k]
+            if contrib > js.ready_val[s]:
+                js.ready_val[s] = contrib
+            js.unknown[s] -= 1
+            if js.unknown[s] == 0:
+                work.append(ds)
+
+    # ------------------------------------------------------------------
+    # realizations
+    # ------------------------------------------------------------------
+    def _realize_ready(self, j: int, i: int, gen: int) -> None:
+        js = self._jobs[j]
+        if gen != js.gen[i] or js.state[i] != _RELEASED:
+            return
+        js.state[i] = _READY_ST
+        self._emit(ev.TaskReady(self._now, js.name, js.model.tasks[i], js.mapping[i]))
+
+    def _realize_start(self, j: int, i: int, gen: int) -> None:
+        js = self._jobs[j]
+        if gen != js.gen[i]:
+            return
+        js.state[i] = _RUNNING
+        self._emit(ev.TaskStarted(
+            self._now, js.name, js.model.tasks[i], js.mapping[i], js.slot[i]
+        ))
+
+    def _realize_finish(self, j: int, i: int, gen: int) -> None:
+        js = self._jobs[j]
+        if gen != js.gen[i]:
+            return
+        js.done[i] = True
+        js.state[i] = _DONE
+        self._busy[js.mapping[i]] += js.exec_actual[i]
+        self._emit(ev.TaskFinished(self._now, js.name, js.model.tasks[i], js.mapping[i]))
+        js.remaining -= 1
+        if js.remaining == 0:
+            completion = max(js.end_time(i) for i in range(js.model.n))
+            js.completion = completion
+            self._push(completion, _JOB_DONE, ("job-done", j))
+
+    def _realize_job_done(self, j: int) -> None:
+        js = self._jobs[j]
+        self._emit(ev.JobCompleted(self._now, js.name, js.completion - js.arrival))
+
+    # ------------------------------------------------------------------
+    # scenarios: rollback + replan
+    # ------------------------------------------------------------------
+    def _remap_tasks(
+        self, js: _JobState, tasks: List[int], preferred: Optional[int]
+    ) -> Dict[int, int]:
+        """Pick an alive, area-feasible target device for each task.
+
+        Area budgets are per job (see :mod:`repro.runtime.scenarios`):
+        usage counts every task still mapped to an area-limited device —
+        including finished ones, whose bitstreams occupied the fabric —
+        minus the tasks being moved.  Preference order: the explicit
+        fallback device, then lowest index.
+        """
+        if not tasks:
+            return {}
+        model = js.model
+        limits = model._area_limits
+        moving = set(tasks)
+        usage = {d: 0.0 for d in limits}
+        for i in range(model.n):
+            d = js.mapping[i]
+            if d in usage and i not in moving:
+                usage[d] += model._area[i]
+        candidates = [d for d in range(self.platform.n_devices) if self._alive[d]]
+        if not candidates:
+            raise RuntimeError("all devices have failed")
+        if preferred is not None and preferred in candidates:
+            candidates.remove(preferred)
+            candidates.insert(0, preferred)
+        targets: Dict[int, int] = {}
+        for i in tasks:
+            area = model._area[i]
+            for d in candidates:
+                if d in limits and usage[d] + area > limits[d] + 1e-9:
+                    continue
+                targets[i] = d
+                if d in limits:
+                    usage[d] += area
+                break
+            else:
+                raise RuntimeError(
+                    f"job {js.name}: no surviving device can host task "
+                    f"{model.tasks[i]} within its area budget"
+                )
+        return targets
+
+    def _apply_scenario(self, scn: Scenario) -> None:
+        if isinstance(scn, DeviceSlowdown):
+            if not self._alive[scn.device]:
+                return
+            self._speed[scn.device] *= scn.factor
+            self._emit(ev.DeviceSlowed(self._now, scn.device, scn.factor))
+            self._replan()
+        elif isinstance(scn, DeviceFailure):
+            if not self._alive[scn.device]:
+                return
+            self._alive[scn.device] = False
+            self._emit(ev.DeviceFailed(self._now, scn.device))
+            self._replan(failed=scn.device, fallback=scn.fallback)
+
+    def _replan(
+        self, failed: Optional[int] = None, fallback: Optional[int] = None
+    ) -> None:
+        t = self._now
+        # 1) roll back every commitment that has not started yet (start >= t:
+        #    same-instant starts realize after the scenario, see the rank
+        #    order); kill running tasks on a failed device (done tasks are
+        #    never touched)
+        for js in self._jobs:
+            for i in range(js.model.n):
+                if not js.committed[i] or js.done[i]:
+                    continue
+                if js.start[i] >= t:
+                    js.committed[i] = False
+                    js.gen[i] += 1
+                elif failed is not None and js.mapping[i] == failed:
+                    js.committed[i] = False
+                    js.gen[i] += 1
+                    js.state[i] = _RELEASED
+                    js.n_killed += 1
+                    self._busy[failed] += t - js.start[i]
+                    self._emit(ev.TaskKilled(t, js.name, js.model.tasks[i], failed))
+
+        # 2) move unfinished work off the failed device (area-aware: a
+        #    fallback that would blow an FPGA budget is skipped for the
+        #    next surviving device)
+        if failed is not None:
+            if fallback is not None and not self._alive[fallback]:
+                fallback = None
+            for js in self._jobs:
+                stranded = [
+                    i for i in range(js.model.n)
+                    if not js.done[i] and js.mapping[i] == failed
+                ]
+                for i, target in self._remap_tasks(js, stranded, fallback).items():
+                    js.mapping[i] = target
+                    # any logged TaskReady named the dead device; re-announce
+                    # readiness on the device the task will actually run on
+                    js.state[i] = _RELEASED
+                    js.n_remapped += 1
+                    self._emit(ev.TaskRemapped(
+                        t, js.name, js.model.tasks[i], failed, target
+                    ))
+
+        # 3) rebuild the planning frontier of every uncommitted task
+        for js in self._jobs:
+            model = js.model
+            for i in range(model.n):
+                if js.committed[i]:
+                    continue
+                d = js.mapping[i]
+                rv = js.input_ready(i)
+                drain = 0.0
+                streamed = False
+                unknown = 0
+                for k, (p, row) in enumerate(model._pred[i]):
+                    if not js.committed[p]:
+                        unknown += 1
+                        continue
+                    dp = js.mapping[p]
+                    if dp == d and self._streaming[d]:
+                        contrib = js.start[p] + js.fill_actual[p]
+                        streamed = True
+                        if js.finish[p] > drain:
+                            drain = js.finish[p]
+                    else:
+                        contrib = js.finish[p] + row[dp][d] * js.trans_f[i][k]
+                    if contrib > rv:
+                        rv = contrib
+                js.ready_val[i] = rv
+                js.drain[i] = drain
+                js.streamed[i] = streamed
+                js.unknown[i] = unknown
+
+        # 4) rebuild device queues and slot availability, then replan
+        m = self.platform.n_devices
+        self._queues = [[] for _ in range(m)]
+        self._heads = [0] * m
+        for js in self._jobs:
+            for i in js.order:
+                if not js.committed[i]:
+                    self._queues[js.mapping[i]].append((js.idx, i))
+        for d in range(m):
+            if not self._serializes[d]:
+                continue
+            avail = [0.0] * len(self._avail[d])
+            for js in self._jobs:
+                for i in range(js.model.n):
+                    if js.committed[i] and js.mapping[i] == d and js.slot[i] >= 0:
+                        if js.finish[i] > avail[js.slot[i]]:
+                            avail[js.slot[i]] = js.finish[i]
+            self._avail[d] = avail
+        self._cascade()
+
+    # ------------------------------------------------------------------
+    def _build_trace(self) -> RuntimeTrace:
+        jobs = []
+        for js in self._jobs:
+            model = js.model
+            tasks = [
+                TaskTrace(
+                    task=model.tasks[i],
+                    index=i,
+                    device=js.mapping[i],
+                    slot=js.slot[i],
+                    ready=js.ready[i],
+                    start=js.start[i],
+                    finish=js.finish[i],
+                    streamed=js.streamed[i],
+                    waited=max(0.0, js.start[i] - js.ready[i]),
+                )
+                for i in js.order
+            ]
+            jobs.append(JobResult(
+                name=js.name,
+                arrival=js.arrival,
+                completion=js.completion,
+                tasks=tasks,
+                n_killed=js.n_killed,
+                n_remapped=js.n_remapped,
+            ))
+        makespan = max((job.completion for job in jobs), default=0.0)
+        return RuntimeTrace(
+            jobs=jobs,
+            events=self._log,
+            makespan=makespan,
+            device_busy=list(self._busy),
+        )
+
+
+# ---------------------------------------------------------------------------
+def simulate_mapping(
+    graph: TaskGraph,
+    platform: Platform,
+    mapping: Sequence[int],
+    *,
+    noise: Optional[PerturbationModel] = None,
+    scenarios: Sequence[Scenario] = (),
+    order: Optional[Sequence[int]] = None,
+    rng: Union[None, int, np.random.Generator] = None,
+    name: str = "job0",
+) -> RuntimeTrace:
+    """Run one static mapping through the engine and return its trace."""
+    engine = RuntimeEngine(platform, noise=noise, scenarios=scenarios)
+    return engine.run(Job(graph, mapping, name=name, order=order), rng=rng)

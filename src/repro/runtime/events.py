@@ -1,0 +1,123 @@
+"""Typed event records emitted by the runtime engine.
+
+Every observable state change of a simulation — a job arriving, a task
+moving through the released → ready → running → done state machine, a
+scenario striking a device, a job completing — is logged as one immutable
+record.  The log is the ground truth a robustness experiment inspects: it
+is strictly ordered by ``(time, insertion)`` and is deterministic for a
+fixed seed, which the reproducibility tests rely on.
+
+The records are *observations*, not the engine's internal scheduling
+events; the engine keeps its own heap of realization entries and only
+materializes these dataclasses when something actually happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Event",
+    "JobArrived",
+    "TaskReady",
+    "TaskStarted",
+    "TaskFinished",
+    "TaskKilled",
+    "TaskRemapped",
+    "DeviceSlowed",
+    "DeviceFailed",
+    "JobCompleted",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base record: simulation time (seconds) at which the event occurred."""
+
+    time: float
+
+    @property
+    def kind(self) -> str:
+        """Short lowercase tag (``task-started``, ``device-failed``, ...)."""
+        name = type(self).__name__
+        out = [name[0].lower()]
+        for c in name[1:]:
+            out.append(f"-{c.lower()}" if c.isupper() else c)
+        return "".join(out)
+
+
+@dataclass(frozen=True)
+class JobArrived(Event):
+    """A job (graph + mapping) was submitted to the engine."""
+
+    job: str
+
+
+@dataclass(frozen=True)
+class TaskReady(Event):
+    """All input data of a task is available on its device."""
+
+    job: str
+    task: int
+    device: int
+
+
+@dataclass(frozen=True)
+class TaskStarted(Event):
+    """A task began executing (``slot`` is -1 on non-serializing devices)."""
+
+    job: str
+    task: int
+    device: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class TaskFinished(Event):
+    """A task completed execution on its device."""
+
+    job: str
+    task: int
+    device: int
+
+
+@dataclass(frozen=True)
+class TaskKilled(Event):
+    """A running task was killed by a device failure (it will re-execute)."""
+
+    job: str
+    task: int
+    device: int
+
+
+@dataclass(frozen=True)
+class TaskRemapped(Event):
+    """An unfinished task was moved off a failed device."""
+
+    job: str
+    task: int
+    from_device: int
+    to_device: int
+
+
+@dataclass(frozen=True)
+class DeviceSlowed(Event):
+    """A device's execution times were scaled by ``factor`` from now on."""
+
+    device: int
+    factor: float
+
+
+@dataclass(frozen=True)
+class DeviceFailed(Event):
+    """A device dropped out; unfinished work moves to a fallback device."""
+
+    device: int
+
+
+@dataclass(frozen=True)
+class JobCompleted(Event):
+    """All tasks of a job finished and its results returned to the host."""
+
+    job: str
+    makespan: float

@@ -1,0 +1,174 @@
+"""Robustness and throughput metrics over engine traces.
+
+A static mapping's *model* makespan is one number; under stochastic
+runtimes it becomes a distribution.  :func:`replicate` samples that
+distribution (N independently-seeded engine runs) and
+:func:`robustness_report` condenses it into the quantities the robustness
+experiments rank mappers by:
+
+- **expected makespan** and its spread (std, best/worst, p50/p95),
+- **degradation** — expected / analytic − 1, how much the cost model's
+  promise erodes under noise (0 for a perfectly robust mapping),
+- **p95 degradation** — the tail a latency SLO would care about.
+
+For arrival streams, :func:`throughput_report` summarizes a multi-job
+trace: served jobs per second over the busy horizon plus the latency
+distribution (arrival → results-on-host), the serving view of a mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..evaluation.costmodel import CostModel
+from ..graphs.taskgraph import TaskGraph
+from ..platform.platform import Platform
+from .engine import RuntimeEngine, RuntimeTrace
+from .scenarios import Job, Scenario
+from .stochastic import PerturbationModel
+
+__all__ = [
+    "RobustnessReport",
+    "ThroughputReport",
+    "analytic_makespan",
+    "replicate",
+    "robustness_report",
+    "throughput_report",
+]
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Distribution summary of one mapping's makespan under perturbation."""
+
+    n: int
+    analytic: float        # CostModel.simulate() makespan (the model's claim)
+    mean: float
+    std: float
+    best: float
+    p50: float
+    p95: float
+    worst: float
+
+    @property
+    def degradation(self) -> float:
+        """Expected makespan relative to the analytic model (0 = robust)."""
+        return self.mean / self.analytic - 1.0 if self.analytic > 0 else 0.0
+
+    @property
+    def p95_degradation(self) -> float:
+        return self.p95 / self.analytic - 1.0 if self.analytic > 0 else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} analytic={self.analytic * 1e3:.2f}ms "
+            f"mean={self.mean * 1e3:.2f}ms (+{self.degradation:.1%}) "
+            f"p95={self.p95 * 1e3:.2f}ms (+{self.p95_degradation:.1%})"
+        )
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Serving summary of a multi-job (arrival stream) trace."""
+
+    n_jobs: int
+    horizon: float             # first arrival -> last completion (s)
+    jobs_per_second: float
+    latency_mean: float        # arrival -> results-on-host (s)
+    latency_p95: float
+    latency_worst: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_jobs} jobs in {self.horizon * 1e3:.1f}ms "
+            f"({self.jobs_per_second:.2f} jobs/s), latency "
+            f"mean {self.latency_mean * 1e3:.1f}ms / "
+            f"p95 {self.latency_p95 * 1e3:.1f}ms"
+        )
+
+
+def replicate(
+    graph: TaskGraph,
+    platform: Platform,
+    mapping: Sequence[int],
+    *,
+    n: int,
+    noise: PerturbationModel,
+    scenarios: Sequence[Scenario] = (),
+    order: Optional[Sequence[int]] = None,
+    seed: Union[int, np.random.SeedSequence] = 0,
+) -> List[RuntimeTrace]:
+    """Run ``n`` independently-seeded replications of one static mapping.
+
+    Seeds are spawned from a root :class:`numpy.random.SeedSequence`, the
+    same scheme the experiment runner uses, so replication ``k`` of a
+    configuration is reproducible in isolation.
+    """
+    if n < 1:
+        raise ValueError("need at least one replication")
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    engine = RuntimeEngine(platform, noise=noise, scenarios=scenarios)
+    traces = []
+    for child in root.spawn(n):
+        job = Job(graph, mapping, order=order)
+        traces.append(engine.run(job, rng=np.random.default_rng(child)))
+    return traces
+
+
+def robustness_report(
+    traces_or_makespans: Union[Sequence[RuntimeTrace], Sequence[float]],
+    analytic: float,
+) -> RobustnessReport:
+    """Condense replication makespans into a :class:`RobustnessReport`."""
+    values = [
+        t.makespan if isinstance(t, RuntimeTrace) else float(t)
+        for t in traces_or_makespans
+    ]
+    if not values:
+        raise ValueError("need at least one makespan sample")
+    arr = np.asarray(values, dtype=float)
+    return RobustnessReport(
+        n=int(arr.size),
+        analytic=float(analytic),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        best=float(arr.min()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        worst=float(arr.max()),
+    )
+
+
+def analytic_makespan(
+    graph: TaskGraph,
+    platform: Platform,
+    mapping: Sequence[int],
+    order: Optional[Sequence[int]] = None,
+) -> float:
+    """The cost model's makespan for ``mapping`` (engine's zero-noise twin)."""
+    return CostModel(graph, platform).simulate(list(mapping), order)
+
+
+def throughput_report(trace: RuntimeTrace) -> ThroughputReport:
+    """Serving metrics of a (typically multi-job) trace."""
+    if not trace.jobs:
+        raise ValueError("trace has no jobs")
+    arrivals = np.array([j.arrival for j in trace.jobs])
+    completions = np.array([j.completion for j in trace.jobs])
+    latencies = completions - arrivals
+    horizon = float(completions.max() - arrivals.min())
+    return ThroughputReport(
+        n_jobs=len(trace.jobs),
+        horizon=horizon,
+        jobs_per_second=len(trace.jobs) / horizon if horizon > 0 else float("inf"),
+        latency_mean=float(latencies.mean()),
+        latency_p95=float(np.percentile(latencies, 95)),
+        latency_worst=float(latencies.max()),
+    )

@@ -1,0 +1,155 @@
+"""Dynamic scenarios: device degradation/failure and workflow arrival streams.
+
+Scenarios are the second perturbation axis (orthogonal to the stochastic
+runtime noise of :mod:`repro.runtime.stochastic`): timed, structural changes
+to the platform while a static mapping executes.
+
+``DeviceSlowdown(device, time, factor)``
+    From ``time`` on, tasks *starting* on ``device`` take ``factor`` times
+    longer (thermal throttling, a co-tenant stealing the accelerator, ...).
+    Tasks already running keep their committed times.
+
+``DeviceFailure(device, time, fallback=None)``
+    At ``time`` the device drops out: running tasks on it are killed and
+    every unfinished task mapped to it is re-executed from scratch on a
+    surviving device — the ``fallback`` when given, else the lowest index,
+    skipping any device whose FPGA area budget the move would exceed.
+    Results of tasks that already *finished* on the failed device remain
+    available — the host stages completed outputs, so successors pay the
+    recorded transfer but need no recompute.
+
+Arrival streams turn the single-shot simulator into a throughput-serving
+experiment: a :class:`Job` bundles one workflow instance (graph + static
+mapping + optional priority order) with an arrival time, and
+:func:`periodic_stream` / :func:`poisson_stream` build batches of them.
+Jobs share the platform's device slots first-come-first-served: a job's
+tasks queue behind all unfinished tasks of earlier arrivals on the same
+device (non-preemptive FIFO across jobs, priority order within a job).
+
+FPGA area budgets are enforced per job at submission; concurrent jobs are
+assumed to time-share reconfigurable area (no cross-job area accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graphs.taskgraph import TaskGraph
+
+__all__ = [
+    "Scenario",
+    "DeviceSlowdown",
+    "DeviceFailure",
+    "Job",
+    "periodic_stream",
+    "poisson_stream",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A timed platform change (see module docstring for subclasses)."""
+
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("scenario time must be non-negative")
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}@{self.time:g}s"
+
+
+@dataclass(frozen=True)
+class DeviceSlowdown(Scenario):
+    """Scale execution times on ``device`` by ``factor`` (> 1 = slower)."""
+
+    device: int = 0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+
+    def describe(self) -> str:
+        return f"slowdown(device={self.device}, x{self.factor:g})@{self.time:g}s"
+
+
+@dataclass(frozen=True)
+class DeviceFailure(Scenario):
+    """Remove ``device``; unfinished work restarts on ``fallback``."""
+
+    device: int = 0
+    #: fallback device index; None = lowest-index surviving device
+    fallback: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.fallback is not None and self.fallback == self.device:
+            raise ValueError("fallback must differ from the failed device")
+
+    def describe(self) -> str:
+        return f"failure(device={self.device})@{self.time:g}s"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One workflow instance to execute: graph, static mapping, arrival."""
+
+    graph: TaskGraph
+    mapping: Sequence[int]
+    arrival: float = 0.0
+    name: str = ""
+    #: topological priority order (task indices); None = BFS schedule
+    order: Optional[Sequence[int]] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("job arrival time must be non-negative")
+
+
+def periodic_stream(
+    graph: TaskGraph,
+    mapping: Sequence[int],
+    n: int,
+    period: float,
+    *,
+    start: float = 0.0,
+    name: str = "job",
+) -> List[Job]:
+    """``n`` copies of one workflow arriving every ``period`` seconds."""
+    if n < 1:
+        raise ValueError("need at least one job")
+    if period < 0:
+        raise ValueError("period must be non-negative")
+    return [
+        Job(graph, mapping, arrival=start + k * period, name=f"{name}{k}")
+        for k in range(n)
+    ]
+
+
+def poisson_stream(
+    graph: TaskGraph,
+    mapping: Sequence[int],
+    n: int,
+    rate: float,
+    rng: np.random.Generator,
+    *,
+    start: float = 0.0,
+    name: str = "job",
+) -> List[Job]:
+    """``n`` copies arriving as a Poisson process with ``rate`` jobs/second."""
+    if n < 1:
+        raise ValueError("need at least one job")
+    if rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    t = start
+    jobs = []
+    for k in range(n):
+        jobs.append(Job(graph, mapping, arrival=t, name=f"{name}{k}"))
+        t += float(rng.exponential(1.0 / rate))
+    return jobs

@@ -1,0 +1,131 @@
+"""Pluggable perturbation models for execution and transfer times.
+
+A :class:`PerturbationModel` turns the cost model's *nominal* times into
+sampled *actual* times by drawing one multiplicative factor per task
+execution and per data transfer.  All distributions are normalized to
+**mean 1**, so the analytic makespan stays the natural center of the
+perturbed ensemble and the degradation metrics in
+:mod:`repro.runtime.metrics` measure pure variability cost, not a shifted
+workload.
+
+Factors are drawn once per task/transfer when a job is submitted, from the
+engine's seeded :class:`numpy.random.Generator`, in a fixed order (task by
+task: execution, input transfers, host I/O).  This gives the engine its
+reproducibility contract — same seed, same trace — and keeps scenario
+replanning (which recommits tasks) from resampling noise.
+
+:class:`NoNoise` never touches the generator, so deterministic runs are
+bit-identical regardless of seeding — the zero-noise equivalence invariant
+against :meth:`repro.evaluation.costmodel.CostModel.simulate` depends on
+this.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+__all__ = ["PerturbationModel", "NoNoise", "LognormalNoise", "GammaNoise"]
+
+
+class PerturbationModel(abc.ABC):
+    """Multiplicative noise on execution and transfer times (mean 1)."""
+
+    #: True iff both factors are the constant 1.0 (no RNG consumption).
+    deterministic: bool = False
+
+    @abc.abstractmethod
+    def exec_factor(self, rng: np.random.Generator) -> float:
+        """Factor applied to one task's execution (and pipeline-fill) time."""
+
+    @abc.abstractmethod
+    def transfer_factor(self, rng: np.random.Generator) -> float:
+        """Factor applied to one data transfer (edge or host I/O) time."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class NoNoise(PerturbationModel):
+    """Deterministic runtimes: every factor is exactly 1."""
+
+    deterministic = True
+
+    def exec_factor(self, rng: np.random.Generator) -> float:
+        return 1.0
+
+    def transfer_factor(self, rng: np.random.Generator) -> float:
+        return 1.0
+
+    def describe(self) -> str:
+        return "deterministic"
+
+
+class LognormalNoise(PerturbationModel):
+    """Mean-1 lognormal factors: ``exp(N(-sigma^2/2, sigma))``.
+
+    ``sigma`` perturbs execution times; ``transfer_sigma`` (default 0:
+    deterministic transfers) perturbs transfer times independently.
+    Lognormal is the classic model for multiplicative runtime jitter —
+    heavy right tail, never negative.
+    """
+
+    def __init__(self, sigma: float, transfer_sigma: float = 0.0) -> None:
+        if sigma < 0 or transfer_sigma < 0:
+            raise ValueError("noise levels must be non-negative")
+        self.sigma = float(sigma)
+        self.transfer_sigma = float(transfer_sigma)
+        self.deterministic = sigma == 0.0 and transfer_sigma == 0.0
+
+    @staticmethod
+    def _factor(sigma: float, rng: np.random.Generator) -> float:
+        if sigma == 0.0:
+            return 1.0
+        return float(math.exp(rng.normal(-0.5 * sigma * sigma, sigma)))
+
+    def exec_factor(self, rng: np.random.Generator) -> float:
+        return self._factor(self.sigma, rng)
+
+    def transfer_factor(self, rng: np.random.Generator) -> float:
+        return self._factor(self.transfer_sigma, rng)
+
+    def describe(self) -> str:
+        return (
+            f"lognormal(sigma={self.sigma:g}, "
+            f"transfer_sigma={self.transfer_sigma:g})"
+        )
+
+
+class GammaNoise(PerturbationModel):
+    """Mean-1 gamma factors with coefficient of variation ``cv``.
+
+    Shape ``1/cv^2`` and scale ``cv^2`` give mean 1 and standard deviation
+    ``cv``.  Compared to the lognormal, the gamma has a lighter tail at
+    equal variance — useful to check that robustness rankings are not an
+    artifact of one distribution's tail.
+    """
+
+    def __init__(self, cv: float, transfer_cv: float = 0.0) -> None:
+        if cv < 0 or transfer_cv < 0:
+            raise ValueError("noise levels must be non-negative")
+        self.cv = float(cv)
+        self.transfer_cv = float(transfer_cv)
+        self.deterministic = cv == 0.0 and transfer_cv == 0.0
+
+    @staticmethod
+    def _factor(cv: float, rng: np.random.Generator) -> float:
+        if cv == 0.0:
+            return 1.0
+        shape = 1.0 / (cv * cv)
+        return float(rng.gamma(shape, 1.0 / shape))
+
+    def exec_factor(self, rng: np.random.Generator) -> float:
+        return self._factor(self.cv, rng)
+
+    def transfer_factor(self, rng: np.random.Generator) -> float:
+        return self._factor(self.transfer_cv, rng)
+
+    def describe(self) -> str:
+        return f"gamma(cv={self.cv:g}, transfer_cv={self.transfer_cv:g})"

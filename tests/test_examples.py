@@ -71,3 +71,12 @@ def test_wfcommons_import_runs(capsys):
     out = capsys.readouterr().out
     assert "imported" in out
     assert "SPFirstFit" in out
+
+
+def test_runtime_robustness_runs(capsys):
+    mod = _load("runtime_robustness")
+    mod.main(60)
+    out = capsys.readouterr().out
+    assert "HEFT" in out and "SPFirstFit" in out
+    assert "degradation" in out and "p95" in out
+    assert "fails" in out and "execution(s) lost" in out

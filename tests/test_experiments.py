@@ -147,3 +147,49 @@ class TestReporting:
         assert returned == str(path)
         assert path.exists()
         assert path.read_text().startswith("n,algorithm")
+
+
+class TestRobustnessDriver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        import dataclasses
+
+        from repro.experiments.config import get_scale
+        from repro.experiments.robustness import run
+
+        tiny = dataclasses.replace(
+            get_scale("smoke"),
+            robustness_noise_levels=[0.2],
+            robustness_replications=4,
+            robustness_n_tasks=15,
+            robustness_graphs=1,
+            nsga_generations=5,
+            n_random_schedules=5,
+        )
+        return run(scale=tiny, seed=1)
+
+    def test_sweep_shape(self, result):
+        assert result.sigmas() == [0.2]
+        assert set(result.algorithms()) == {
+            "HEFT", "PEFT", "NSGAII", "SNFirstFit", "SPFirstFit"
+        }
+        for p in result.points:
+            assert p.analytic_s > 0 and p.mean_s > 0
+            assert p.degradation >= -1.0
+            assert p.p95_degradation >= p.degradation - 1e-9
+
+    def test_format_and_csv(self, result, tmp_path):
+        import csv as csv_mod
+
+        from repro.experiments.robustness import (
+            format_robustness_table,
+            write_robustness_csv,
+        )
+
+        text = format_robustness_table(result)
+        assert "mean degradation" in text and "p95 degradation" in text
+        assert "HEFT" in text
+        path = write_robustness_csv(result, str(tmp_path / "rob.csv"))
+        rows = list(csv_mod.reader(open(path)))
+        assert rows[0][:2] == ["noise_sigma", "algorithm"]
+        assert len(rows) == 1 + len(result.points)
