@@ -21,10 +21,15 @@ Public API tour
   static mappings under stochastic runtime noise, device slowdowns and
   failures, and multi-workflow arrival streams (``repro simulate`` on the
   command line); with zero noise it reproduces the analytic evaluator
-  exactly;
+  exactly; on failure it rescues stranded work with a fixed fallback or by
+  re-running a mapper on the surviving platform
+  (:mod:`repro.runtime.replan`, ``--replan-policy``);
+- :mod:`repro.parallel` — process-pool experiment backbone with
+  deterministic seed sharding: ``--workers N`` scales every driver across
+  cores with results bit-identical to a serial run;
 - :mod:`repro.experiments` — drivers regenerating every figure and table of
-  the paper's evaluation, plus the runtime-robustness sweep
-  (:mod:`repro.experiments.robustness`).
+  the paper's evaluation, plus the runtime-robustness noise sweep and the
+  failure re-mapping policy sweep (:mod:`repro.experiments.robustness`).
 
 Quickstart
 ----------
@@ -40,11 +45,11 @@ Quickstart
 True
 """
 
-from . import evaluation, graphs, mappers, platform, runtime, sp
+from . import evaluation, graphs, mappers, parallel, platform, runtime, sp
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "evaluation", "graphs", "mappers", "platform", "runtime", "sp",
-    "__version__",
+    "evaluation", "graphs", "mappers", "parallel", "platform", "runtime",
+    "sp", "__version__",
 ]

@@ -8,8 +8,12 @@ Commands
 ``evaluate``   evaluate a mapping (makespan, improvement, optional Gantt)
 ``compare``    run several algorithms head-to-head on one graph
 ``simulate``   stress-test a mapping in the runtime engine (noise, failures,
-               arrival streams) and print a robustness/throughput report
-``experiment`` regenerate a paper figure/table (fig3..fig7, table1)
+               arrival streams, online re-mapping policies) and print a
+               robustness/throughput report
+``experiment`` regenerate a paper figure/table (fig3..fig7, table1) or an
+               extension study (robustness, replan); ``--workers N`` fans
+               the replications across a process pool with bit-identical
+               results
 
 Examples
 --------
@@ -22,8 +26,10 @@ Examples
     python -m repro compare graph.json --algorithms heft peft sp-first-fit
     python -m repro simulate graph.json mapping.json --noise lognormal \
         --sigma 0.3 --replications 50
-    python -m repro simulate graph.json --algorithm heft --fail vega56@0.5
+    python -m repro simulate graph.json --algorithm heft --fail vega56@0.5 \
+        --replan-policy decomposition
     python -m repro experiment fig4 --scale smoke
+    python -m repro experiment robustness --scale small --workers 4
 """
 
 from __future__ import annotations
@@ -239,31 +245,48 @@ def _parse_device(spec: str, platform) -> int:
     return d
 
 
+def _parse_float(text: str, what: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"{what} {text!r} is not a number") from None
+
+
 def _parse_scenarios(args, platform) -> List:
-    """``--fail DEV@T`` and ``--slowdown DEV@T:FACTOR`` into scenario objects."""
+    """``--fail DEV@T`` and ``--slowdown DEV@T:FACTOR`` into scenario objects.
+
+    Malformed specs, unknown devices, out-of-range indices and invalid
+    times/factors all raise :class:`ValueError` with the offending spec
+    named — ``repro simulate`` turns these into a clean non-zero exit
+    instead of a traceback from deep inside :mod:`repro.runtime`.
+    """
     from .runtime import DeviceFailure, DeviceSlowdown
 
     scenarios = []
     for spec in args.fail or []:
+        dev, sep, at = spec.rpartition("@")
+        if not sep or not dev:
+            raise ValueError(f"--fail {spec!r}: expected DEV@T")
         try:
-            dev, at = spec.rsplit("@", 1)
-            scenarios.append(
-                DeviceFailure(float(at), device=_parse_device(dev, platform))
-            )
-        except ValueError as exc:
-            raise ValueError(f"--fail {spec!r}: expected DEV@T ({exc})") from None
-    for spec in args.slowdown or []:
-        try:
-            dev, rest = spec.rsplit("@", 1)
-            at, factor = rest.split(":", 1)
-            scenarios.append(DeviceSlowdown(
-                float(at), device=_parse_device(dev, platform),
-                factor=float(factor),
+            scenarios.append(DeviceFailure(
+                _parse_float(at, "time"),
+                device=_parse_device(dev, platform),
             ))
         except ValueError as exc:
-            raise ValueError(
-                f"--slowdown {spec!r}: expected DEV@T:FACTOR ({exc})"
-            ) from None
+            raise ValueError(f"--fail {spec!r}: {exc}") from None
+    for spec in args.slowdown or []:
+        dev, sep, rest = spec.rpartition("@")
+        at, sep2, factor = rest.partition(":")
+        if not sep or not dev or not sep2:
+            raise ValueError(f"--slowdown {spec!r}: expected DEV@T:FACTOR")
+        try:
+            scenarios.append(DeviceSlowdown(
+                _parse_float(at, "time"),
+                device=_parse_device(dev, platform),
+                factor=_parse_float(factor, "factor"),
+            ))
+        except ValueError as exc:
+            raise ValueError(f"--slowdown {spec!r}: {exc}") from None
     return scenarios
 
 
@@ -325,9 +348,17 @@ def cmd_simulate(args) -> int:
         print("deterministic replications are identical; --replications "
               "needs a nonzero --noise level", file=sys.stderr)
         return 2
+    if args.replan_policy != "fallback" and not args.fail:
+        print(f"--replan-policy {args.replan_policy} has no effect without "
+              "a --fail scenario", file=sys.stderr)
+        return 2
 
-    g = load_graph(args.graph)
-    platform = _load_platform(args)
+    try:
+        g = load_graph(args.graph)
+        platform = _load_platform(args)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load inputs: {exc}", file=sys.stderr)
+        return 2
     try:
         scenarios = _parse_scenarios(args, platform)
     except ValueError as exc:
@@ -336,8 +367,13 @@ def cmd_simulate(args) -> int:
 
     model = None
     if args.mapping:
-        with open(args.mapping) as fh:
-            mapping = mapping_from_dict(json.load(fh), g, platform)
+        try:
+            with open(args.mapping) as fh:
+                mapping = mapping_from_dict(json.load(fh), g, platform)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load mapping {args.mapping!r}: {exc}",
+                  file=sys.stderr)
+            return 2
         source = "stored mapping"
     else:
         evaluator = _evaluator(g, args, platform)
@@ -359,11 +395,16 @@ def cmd_simulate(args) -> int:
     print(f"analytic makespan : {analytic * 1e3:.2f} ms")
     for scn in scenarios:
         print(f"scenario          : {scn.describe()}")
+    if args.replan_policy != "fallback":
+        print(f"replan policy     : {args.replan_policy}")
 
     try:
         if args.arrivals > 1:
             jobs = periodic_stream(g, mapping, args.arrivals, period=args.period)
-            engine = RuntimeEngine(platform, noise=noise, scenarios=scenarios)
+            engine = RuntimeEngine(
+                platform, noise=noise, scenarios=scenarios,
+                replan_policy=args.replan_policy,
+            )
             trace = engine.run(jobs, rng=args.seed)
             print(f"stream            : {args.arrivals} arrivals, "
                   f"period {args.period * 1e3:g} ms")
@@ -374,6 +415,7 @@ def cmd_simulate(args) -> int:
             traces = replicate(
                 g, platform, mapping, n=args.replications, noise=noise,
                 scenarios=scenarios, seed=args.seed,
+                replan_policy=args.replan_policy,
             )
             report = robustness_report(traces, analytic)
             print(f"replications      : {report.n} ({noise.describe()})")
@@ -387,7 +429,7 @@ def cmd_simulate(args) -> int:
 
         trace = simulate_mapping(
             g, platform, mapping, noise=noise, scenarios=scenarios,
-            rng=args.seed,
+            rng=args.seed, replan_policy=args.replan_policy,
         )
     except ValueError as exc:  # bad stream/job parameters
         print(exc, file=sys.stderr)
@@ -398,6 +440,11 @@ def cmd_simulate(args) -> int:
     print(f"simulated makespan: {trace.makespan * 1e3:.2f} ms")
     if trace.n_killed:
         print(f"tasks killed      : {trace.n_killed}")
+    n_remapped = sum(job.n_remapped for job in trace.jobs)
+    if n_remapped:
+        print(f"tasks remapped    : {n_remapped}")
+    if trace.n_fallback_dead:
+        print(f"dead fallbacks    : {trace.n_fallback_dead}")
     if args.gantt:
         print(render_gantt(trace, model))
     return 0
@@ -412,12 +459,19 @@ def cmd_experiment(args) -> int:
         "fig3": fig3.run, "fig4": fig4.run, "fig5": fig5.run,
         "fig6": fig6.run, "fig7": fig7.run,
     }
+    workers = args.workers
     if args.name == "table1":
-        print(format_table(table1.run(scale=args.scale)))
+        print(format_table(table1.run(scale=args.scale, workers=workers)))
     elif args.name == "robustness":
-        robustness.print_report(robustness.run(scale=args.scale))
+        robustness.print_report(
+            robustness.run(scale=args.scale, workers=workers)
+        )
+    elif args.name == "replan":
+        robustness.print_report(
+            robustness.run_replan(scale=args.scale, workers=workers)
+        )
     else:
-        print_sweep(drivers[args.name](scale=args.scale))
+        print_sweep(drivers[args.name](scale=args.scale, workers=workers))
     return 0
 
 
@@ -504,6 +558,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail a device at time T (repeatable)")
     p.add_argument("--slowdown", action="append", metavar="DEV@T:FACTOR",
                    help="slow a device by FACTOR from time T (repeatable)")
+    from .runtime.replan import REPLAN_POLICY_NAMES
+
+    p.add_argument("--replan-policy", default="fallback",
+                   choices=list(REPLAN_POLICY_NAMES),
+                   help="on --fail, rescue stranded work with the fixed "
+                        "fallback or by re-running a mapper on the "
+                        "surviving platform")
     p.add_argument("--arrivals", type=int, default=1,
                    help="simulate N periodic arrivals of the workflow")
     p.add_argument("--period", type=float, default=0.0,
@@ -518,9 +579,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p.add_argument("name",
                    choices=["fig3", "fig4", "fig5", "fig6", "fig7", "table1",
-                            "robustness"])
+                            "robustness", "replan"])
     p.add_argument("--scale", default="smoke",
                    choices=["smoke", "small", "paper"])
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool size for the experiment backbone "
+                        "(default: scale config; 0 = one worker per CPU)")
     p.set_defaults(func=cmd_experiment)
     return parser
 

@@ -27,6 +27,10 @@ def run_cli(
     )
     parser.add_argument("--seed", type=int, default=default_seed)
     parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: scale config; 0 = all CPUs)",
+    )
+    parser.add_argument(
         "--csv", action="store_true", help="also write a CSV into ./results/"
     )
     parser.add_argument(
@@ -34,7 +38,10 @@ def run_cli(
     )
     args = parser.parse_args()
     progress = None if args.quiet else (lambda msg: print(f"  [{msg}]"))
-    result = run(scale=args.scale, seed=args.seed, progress=progress)
+    result = run(
+        scale=args.scale, seed=args.seed, workers=args.workers,
+        progress=progress,
+    )
     print_sweep(result, time_unit=time_unit)
     if args.csv:
         path = write_csv(result)

@@ -32,6 +32,7 @@ import numpy as np
 
 from ..graphs.generators import random_almost_sp_graph, random_sp_graph
 from ..mappers import DecompositionMapper
+from ..parallel import resolve_workers
 from ..platform import Platform, paper_platform
 from ..platform.device import Device, DeviceKind
 from ._cli import run_cli
@@ -45,6 +46,7 @@ def run_cuts(
     scale="smoke",
     *,
     seed: int = 21,
+    workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResult:
     """Cut-strategy ablation over an increasing number of conflicting edges."""
@@ -77,6 +79,7 @@ def run_cuts(
         seed=seed,
         n_random_schedules=cfg.n_random_schedules,
         progress=progress,
+        workers=resolve_workers(workers, cfg.parallel_workers),
     )
 
 
@@ -84,6 +87,7 @@ def run_gamma(
     scale="smoke",
     *,
     seed: int = 22,
+    workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResult:
     """gamma-threshold ablation over graph size."""
@@ -121,6 +125,7 @@ def run_gamma(
         seed=seed,
         n_random_schedules=cfg.n_random_schedules,
         progress=progress,
+        workers=resolve_workers(workers, cfg.parallel_workers),
     )
 
 
@@ -165,6 +170,7 @@ def run_streaming(
     scale="smoke",
     *,
     seed: int = 23,
+    workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResult:
     """Streaming on/off ablation over graph size.
@@ -200,6 +206,7 @@ def run_streaming(
         seed=seed,
         n_random_schedules=cfg.n_random_schedules,
         progress=progress,
+        workers=resolve_workers(workers, cfg.parallel_workers),
     )
 
 
@@ -213,8 +220,14 @@ if __name__ == "__main__":
         "--scale", default="smoke", choices=["smoke", "small", "paper"]
     )
     parser.add_argument("--seed", type=int, default=21)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: scale config; 0 = all CPUs)",
+    )
     args = parser.parse_args()
     from .reporting import print_sweep
 
-    result = _STUDIES[args.study](scale=args.scale, seed=args.seed)
+    result = _STUDIES[args.study](
+        scale=args.scale, seed=args.seed, workers=args.workers
+    )
     print_sweep(result)

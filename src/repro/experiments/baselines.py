@@ -32,6 +32,7 @@ from ..mappers import (
     sn_first_fit,
     sp_first_fit,
 )
+from ..parallel import resolve_workers
 from ..platform import paper_platform
 from .config import get_scale
 from .runner import SweepResult, run_sweep
@@ -43,6 +44,7 @@ def run(
     scale="smoke",
     *,
     seed: int = 40,
+    workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResult:
     cfg = get_scale(scale)
@@ -77,6 +79,7 @@ def run(
         seed=seed,
         n_random_schedules=cfg.n_random_schedules,
         progress=progress,
+        workers=resolve_workers(workers, cfg.parallel_workers),
     )
 
 
@@ -86,7 +89,11 @@ if __name__ == "__main__":
         "--scale", default="smoke", choices=["smoke", "small", "paper"]
     )
     parser.add_argument("--seed", type=int, default=40)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: scale config; 0 = all CPUs)",
+    )
     args = parser.parse_args()
     from .reporting import print_sweep
 
-    print_sweep(run(scale=args.scale, seed=args.seed))
+    print_sweep(run(scale=args.scale, seed=args.seed, workers=args.workers))

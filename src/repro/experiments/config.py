@@ -69,6 +69,25 @@ class ScaleConfig:
     robustness_n_tasks: int = 30
     robustness_graphs: int = 2
 
+    #: default process-pool size for every experiment driver
+    #: (override per run with ``--workers N``; 0 = one worker per CPU)
+    parallel_workers: int = 1
+
+    # Replan — online re-mapping policy sweep under device failure
+    #: policies compared by the replan axis of the robustness study
+    replan_policies: List[str] = field(
+        default_factory=lambda: ["fallback", "decomposition", "heft", "minmin"]
+    )
+    #: failure instant as a fraction of the mapping's analytic makespan
+    #: (early enough that the failure strands not-yet-started work — at
+    #: smoke scale a late failure leaves nothing to rescue and the
+    #: policy comparison degenerates)
+    replan_failure_frac: float = 0.1
+    #: device that fails mid-run (1 = the GPU on the paper platform)
+    replan_device: int = 1
+    #: lognormal runtime noise applied during the replan sweep
+    replan_sigma: float = 0.1
+
 
 SCALES: Dict[str, ScaleConfig] = {
     "smoke": ScaleConfig(
@@ -114,6 +133,7 @@ SCALES: Dict[str, ScaleConfig] = {
         robustness_replications=30,
         robustness_n_tasks=60,
         robustness_graphs=5,
+        parallel_workers=2,
     ),
     "paper": ScaleConfig(
         name="paper",
@@ -138,6 +158,7 @@ SCALES: Dict[str, ScaleConfig] = {
         robustness_replications=100,
         robustness_n_tasks=100,
         robustness_graphs=10,
+        parallel_workers=0,  # one worker per CPU
     ),
 }
 

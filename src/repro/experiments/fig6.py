@@ -18,6 +18,7 @@ import numpy as np
 
 from ..graphs.generators import random_sp_graph
 from ..mappers import NsgaIIMapper, sn_first_fit, sp_first_fit
+from ..parallel import resolve_workers
 from ..platform import paper_platform
 from ._cli import run_cli
 from .config import get_scale
@@ -30,6 +31,7 @@ def run(
     scale="smoke",
     *,
     seed: int = 6,
+    workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResult:
     cfg = get_scale(scale)
@@ -62,6 +64,7 @@ def run(
         seed=seed,
         n_random_schedules=cfg.n_random_schedules,
         progress=progress,
+        workers=resolve_workers(workers, cfg.parallel_workers),
     )
 
 

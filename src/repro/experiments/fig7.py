@@ -25,6 +25,7 @@ from ..mappers import (
     sn_first_fit,
     sp_first_fit,
 )
+from ..parallel import resolve_workers
 from ..platform import paper_platform
 from ._cli import run_cli
 from .config import get_scale
@@ -37,6 +38,7 @@ def run(
     scale="smoke",
     *,
     seed: int = 7,
+    workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResult:
     cfg = get_scale(scale)
@@ -67,6 +69,7 @@ def run(
         seed=seed,
         n_random_schedules=cfg.n_random_schedules,
         progress=progress,
+        workers=resolve_workers(workers, cfg.parallel_workers),
     )
 
 

@@ -1,20 +1,36 @@
-"""Robustness experiment: rank mappers by makespan degradation under noise.
+"""Robustness experiments: noise degradation and failure re-mapping policies.
 
 An extension study beyond the paper's model-based evaluation: every mapper
 optimizes the *analytic* makespan, but a mapping that wins under the model
-can lose badly once task runtimes jitter.  This driver maps each graph with
-the decomposition mappers and the HEFT/PEFT/NSGA-II roster, replays every
-mapping through the runtime engine (:mod:`repro.runtime`) under increasing
-lognormal runtime noise, and reports per noise level how much each
-algorithm's promised makespan erodes:
+can lose badly once task runtimes jitter — or once a device drops out.
+Two studies share one harness:
+
+**Noise sweep** (:func:`run`) — maps each graph with the decomposition
+mappers and the HEFT/PEFT/NSGA-II roster, replays every mapping through
+the runtime engine (:mod:`repro.runtime`) under increasing lognormal
+runtime noise, and reports per noise level how much each algorithm's
+promised makespan erodes:
 
 - **degradation** — expected simulated makespan / analytic makespan − 1,
 - **p95 degradation** — the tail a latency SLO would care about.
 
-A *low* degradation at equal improvement means the mapping's win is real,
-not an artifact of the model's determinism.
+Simulation seeds are derived *once* per (graph, algorithm) and reused at
+every noise level, so the degradation curves are paired: moving along the
+sigma axis changes only the noise magnitude, never the underlying draws.
+
+**Replan sweep** (:func:`run_replan`) — the policy axis: a device fails
+mid-run and the engine rescues stranded work either with the fixed
+fallback or by re-running a mapper (decomposition / HEFT / min-min) on
+the surviving platform (:mod:`repro.runtime.replan`).  Failure times and
+noise draws are paired across policies, so the comparison isolates the
+policy effect.
+
+Both drivers fan their per-(configuration, replication) work out through
+:mod:`repro.parallel`; ``--workers N`` results are bit-identical to
+serial runs.
 
 Run:  python -m repro.experiments.robustness --scale smoke --csv
+      python -m repro.experiments.robustness --study replan --workers 4
 """
 
 from __future__ import annotations
@@ -23,7 +39,7 @@ import argparse
 import csv
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, TextIO
+from typing import Callable, Dict, List, Optional, TextIO, Tuple
 
 import numpy as np
 
@@ -36,18 +52,30 @@ from ..mappers import (
     sn_first_fit,
     sp_first_fit,
 )
+from ..parallel import parallel_map, resolve_workers
 from ..platform import paper_platform
-from ..runtime import LognormalNoise, replicate, robustness_report
+from ..runtime import (
+    DeviceFailure,
+    LognormalNoise,
+    NoNoise,
+    replicate,
+    robustness_report,
+)
 from .config import get_scale
 from .reporting import results_dir
 
 __all__ = [
     "RobustnessPoint",
     "RobustnessResult",
+    "ReplanPoint",
+    "ReplanResult",
     "run",
+    "run_replan",
     "format_robustness_table",
+    "format_replan_table",
     "print_report",
     "write_robustness_csv",
+    "write_replan_csv",
 ]
 
 
@@ -86,6 +114,46 @@ class RobustnessResult:
         raise KeyError((sigma, algorithm))
 
 
+@dataclass(frozen=True)
+class ReplanPoint:
+    """One (replan policy, algorithm) cell, aggregated over graphs."""
+
+    policy: str
+    algorithm: str
+    analytic_s: float          # mean no-failure analytic makespan (s)
+    mean_s: float              # mean simulated makespan under failure (s)
+    degradation: float         # mean of per-graph (mean/analytic - 1)
+    p95_degradation: float
+    mean_killed: float         # task executions lost per run
+    mean_remapped: float       # tasks moved per run
+
+
+@dataclass
+class ReplanResult:
+    """A replan-policy sweep: policies x algorithms under device failure."""
+
+    title: str
+    points: List[ReplanPoint] = field(default_factory=list)
+
+    def algorithms(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.algorithm)
+        return list(seen)
+
+    def policies(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.policy)
+        return list(seen)
+
+    def cell(self, policy: str, algorithm: str) -> ReplanPoint:
+        for p in self.points:
+            if p.policy == policy and p.algorithm == algorithm:
+                return p
+        raise KeyError((policy, algorithm))
+
+
 def _roster(cfg):
     return [
         HeftMapper(),
@@ -96,14 +164,108 @@ def _roster(cfg):
     ]
 
 
+# ---------------------------------------------------------------------------
+# parallel work items (module-level: the pool pickles workers by reference)
+# ---------------------------------------------------------------------------
+
+def _map_graph_worker(item) -> Tuple[Dict[str, List[int]], Dict[str, float]]:
+    """Map one graph with the full roster; returns (mappings, analytics)."""
+    graph, platform, cfg, map_child = item
+    mappers = _roster(cfg)
+    eval_rng, *mapper_rngs = [
+        np.random.default_rng(s) for s in map_child.spawn(1 + len(mappers))
+    ]
+    evaluator = MappingEvaluator(
+        graph, platform, rng=eval_rng,
+        n_random_schedules=cfg.n_random_schedules,
+    )
+    mappings: Dict[str, List[int]] = {}
+    analytics: Dict[str, float] = {}
+    for mapper, rng in zip(mappers, mapper_rngs):
+        mapping = list(mapper.map(evaluator, rng=rng).mapping)
+        mappings[mapper.name] = mapping
+        analytics[mapper.name] = evaluator.model.simulate(mapping)
+    return mappings, analytics
+
+
+def _map_phase(graphs, platform, cfg, map_seed, workers, progress,
+               executor=None):
+    """Map every graph once; the sweeps reuse the mappings."""
+    items = [
+        (g, platform, cfg, child)
+        for g, child in zip(graphs, map_seed.spawn(len(graphs)))
+    ]
+    out = parallel_map(
+        _map_graph_worker, items, workers=workers,
+        progress=progress, label="mapped graph", executor=executor,
+    )
+    return [m for m, _ in out], [a for _, a in out]
+
+
+def _sweep_pool(workers):
+    """One process pool shared by a driver's map and simulate phases."""
+    from contextlib import nullcontext
+
+    if workers <= 1:
+        return nullcontext(None)
+    from concurrent.futures import ProcessPoolExecutor
+
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def _noise_cell_worker(item) -> Tuple[float, float, float, float]:
+    """One (sigma, algorithm, graph) replication batch."""
+    graph, platform, mapping, analytic, sigma, n, sim_child = item
+    report = robustness_report(
+        replicate(
+            graph, platform, mapping,
+            n=n, noise=LognormalNoise(sigma), seed=sim_child,
+        ),
+        analytic,
+    )
+    return report.degradation, report.p95_degradation, report.mean, report.analytic
+
+
+def _replan_cell_worker(item):
+    """One (policy, algorithm, graph) replication batch under failure."""
+    (graph, platform, mapping, analytic, sigma, n, sim_child,
+     frac, device, policy) = item
+    noise = LognormalNoise(sigma) if sigma > 0 else NoNoise()
+    traces = replicate(
+        graph, platform, mapping,
+        n=n, noise=noise,
+        scenarios=[DeviceFailure(frac * analytic, device=device)],
+        seed=sim_child, replan_policy=policy,
+    )
+    report = robustness_report(traces, analytic)
+    killed = float(np.mean([t.n_killed for t in traces]))
+    remapped = float(np.mean(
+        [sum(j.n_remapped for j in t.jobs) for t in traces]
+    ))
+    return (report.degradation, report.p95_degradation, report.mean,
+            killed, remapped)
+
+
+# ---------------------------------------------------------------------------
+# drivers
+# ---------------------------------------------------------------------------
+
 def run(
     scale="smoke",
     *,
     seed: int = 77,
+    workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> RobustnessResult:
-    """Sweep noise levels; returns mean/p95 degradation per algorithm."""
+    """Sweep noise levels; returns mean/p95 degradation per algorithm.
+
+    Per-replication simulation seeds are derived once per (graph,
+    algorithm) from ``sim_seed`` and reused at every sigma, so curves
+    along the noise axis are paired — seed variance never masquerades as
+    a noise effect.
+    """
     cfg = get_scale(scale)
+    workers = resolve_workers(workers, cfg.parallel_workers)
     platform = paper_platform()
     root = np.random.SeedSequence(seed)
     graph_seed, map_seed, sim_seed = root.spawn(3)
@@ -113,61 +275,132 @@ def run(
         for s in graph_seed.spawn(cfg.robustness_graphs)
     ]
 
-    # map once per (graph, algorithm); the noise sweep reuses the mappings
-    map_rng = np.random.default_rng(map_seed)
-    mappings: List[Dict[str, List[int]]] = []
-    analytics: List[Dict[str, float]] = []
-    for k, graph in enumerate(graphs):
-        ev = MappingEvaluator(
-            graph, platform, rng=np.random.default_rng(seed),
-            n_random_schedules=cfg.n_random_schedules,
+    with _sweep_pool(workers) as executor:
+        # map once per (graph, algorithm); the sweep reuses the mappings
+        mappings, analytics = _map_phase(
+            graphs, platform, cfg, map_seed, workers, progress, executor
         )
-        per_alg: Dict[str, List[int]] = {}
-        per_analytic: Dict[str, float] = {}
-        for mapper in _roster(cfg):
-            mapping = list(mapper.map(ev, rng=map_rng).mapping)
-            per_alg[mapper.name] = mapping
-            per_analytic[mapper.name] = ev.model.simulate(mapping)
-        mappings.append(per_alg)
-        analytics.append(per_analytic)
-        if progress:
-            progress(f"mapped graph {k + 1}/{len(graphs)}")
+        algorithms = list(mappings[0])
+
+        # one simulation seed per (graph, algorithm), shared by every sigma
+        sim_children = sim_seed.spawn(len(graphs) * len(algorithms))
+        items = []
+        for sigma in cfg.robustness_noise_levels:
+            for a, algorithm in enumerate(algorithms):
+                for k, graph in enumerate(graphs):
+                    items.append((
+                        graph, platform,
+                        mappings[k][algorithm], analytics[k][algorithm],
+                        sigma, cfg.robustness_replications,
+                        sim_children[k * len(algorithms) + a],
+                    ))
+        cells = parallel_map(
+            _noise_cell_worker, items, workers=workers,
+            progress=progress, label="noise cell", executor=executor,
+        )
 
     result = RobustnessResult(
         title=f"Robustness under lognormal runtime noise ({cfg.name})"
     )
-    sim_children = iter(sim_seed.spawn(
-        len(cfg.robustness_noise_levels) * len(graphs) * len(mappings[0])
-    ))
+    it = iter(cells)
     for sigma in cfg.robustness_noise_levels:
-        noise = LognormalNoise(sigma)
-        for algorithm in mappings[0]:
-            degs, p95s, means, bases = [], [], [], []
-            for graph, per_alg, per_analytic in zip(graphs, mappings, analytics):
-                report = robustness_report(
-                    replicate(
-                        graph, platform, per_alg[algorithm],
-                        n=cfg.robustness_replications, noise=noise,
-                        seed=next(sim_children),
-                    ),
-                    per_analytic[algorithm],
-                )
-                degs.append(report.degradation)
-                p95s.append(report.p95_degradation)
-                means.append(report.mean)
-                bases.append(report.analytic)
+        for algorithm in algorithms:
+            rows = [next(it) for _ in graphs]
             result.points.append(RobustnessPoint(
                 sigma=sigma,
                 algorithm=algorithm,
-                analytic_s=float(np.mean(bases)),
-                mean_s=float(np.mean(means)),
-                degradation=float(np.mean(degs)),
-                p95_degradation=float(np.mean(p95s)),
+                analytic_s=float(np.mean([r[3] for r in rows])),
+                mean_s=float(np.mean([r[2] for r in rows])),
+                degradation=float(np.mean([r[0] for r in rows])),
+                p95_degradation=float(np.mean([r[1] for r in rows])),
             ))
         if progress:
             progress(f"sigma={sigma:g} done")
     return result
 
+
+def run_replan(
+    scale="smoke",
+    *,
+    seed: int = 78,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ReplanResult:
+    """Sweep re-mapping policies under a mid-run device failure.
+
+    A device (``cfg.replan_device``) fails at
+    ``cfg.replan_failure_frac`` of each mapping's analytic makespan;
+    every policy replays the *same* seeds, failure instants and noise
+    draws, so differences are pure policy effect.
+    """
+    cfg = get_scale(scale)
+    workers = resolve_workers(workers, cfg.parallel_workers)
+    platform = paper_platform()
+    if not 0 <= cfg.replan_device < platform.n_devices:
+        raise ValueError(
+            f"replan_device {cfg.replan_device} out of range for "
+            f"{platform.n_devices}-device platform"
+        )
+    root = np.random.SeedSequence(seed)
+    graph_seed, map_seed, sim_seed = root.spawn(3)
+
+    graphs = [
+        random_sp_graph(cfg.robustness_n_tasks, np.random.default_rng(s))
+        for s in graph_seed.spawn(cfg.robustness_graphs)
+    ]
+    with _sweep_pool(workers) as executor:
+        mappings, analytics = _map_phase(
+            graphs, platform, cfg, map_seed, workers, progress, executor
+        )
+        algorithms = list(mappings[0])
+
+        # one seed per (graph, algorithm), shared by every policy (paired)
+        sim_children = sim_seed.spawn(len(graphs) * len(algorithms))
+        items = []
+        for policy in cfg.replan_policies:
+            for a, algorithm in enumerate(algorithms):
+                for k, graph in enumerate(graphs):
+                    items.append((
+                        graph, platform,
+                        mappings[k][algorithm], analytics[k][algorithm],
+                        cfg.replan_sigma, cfg.robustness_replications,
+                        sim_children[k * len(algorithms) + a],
+                        cfg.replan_failure_frac, cfg.replan_device, policy,
+                    ))
+        cells = parallel_map(
+            _replan_cell_worker, items, workers=workers,
+            progress=progress, label="replan cell", executor=executor,
+        )
+
+    result = ReplanResult(
+        title=(
+            f"Re-mapping policies under device-{cfg.replan_device} failure "
+            f"at {cfg.replan_failure_frac:g}x makespan ({cfg.name})"
+        )
+    )
+    it = iter(cells)
+    for policy in cfg.replan_policies:
+        for algorithm in algorithms:
+            rows = [next(it) for _ in graphs]
+            result.points.append(ReplanPoint(
+                policy=policy,
+                algorithm=algorithm,
+                analytic_s=float(np.mean([analytics[k][algorithm]
+                                          for k in range(len(graphs))])),
+                mean_s=float(np.mean([r[2] for r in rows])),
+                degradation=float(np.mean([r[0] for r in rows])),
+                p95_degradation=float(np.mean([r[1] for r in rows])),
+                mean_killed=float(np.mean([r[3] for r in rows])),
+                mean_remapped=float(np.mean([r[4] for r in rows])),
+            ))
+        if progress:
+            progress(f"policy={policy} done")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
 
 def format_robustness_table(result: RobustnessResult) -> str:
     """Render the sweep as fixed-width text tables, one per metric."""
@@ -194,8 +427,37 @@ def format_robustness_table(result: RobustnessResult) -> str:
     return "\n".join(lines)
 
 
-def print_report(result: RobustnessResult) -> None:
-    print(format_robustness_table(result))
+def format_replan_table(result: ReplanResult) -> str:
+    """Render the policy sweep as fixed-width text tables."""
+    algorithms = result.algorithms()
+    widths = [max(len(a), 10) for a in algorithms]
+    lines = [f"== {result.title} =="]
+
+    def table(header: str, getter) -> None:
+        lines.append(f"-- {header} --")
+        head = f"{'policy':>14s} | " + " | ".join(
+            f"{a:>{w}s}" for a, w in zip(algorithms, widths)
+        )
+        lines.append(head)
+        lines.append("-" * len(head))
+        for policy in result.policies():
+            cells = [
+                f"{getter(result.cell(policy, a)):>{w}.3f}"
+                for a, w in zip(algorithms, widths)
+            ]
+            lines.append(f"{policy:>14s} | " + " | ".join(cells))
+
+    table("mean degradation (mean/analytic - 1)", lambda p: p.degradation)
+    table("p95 degradation (p95/analytic - 1)", lambda p: p.p95_degradation)
+    table("tasks remapped per run", lambda p: p.mean_remapped)
+    return "\n".join(lines)
+
+
+def print_report(result) -> None:
+    if isinstance(result, ReplanResult):
+        print(format_replan_table(result))
+    else:
+        print(format_robustness_table(result))
 
 
 def write_robustness_csv(
@@ -235,21 +497,82 @@ def write_robustness_csv(
     return path
 
 
+def write_replan_csv(
+    result: ReplanResult,
+    path: Optional[str] = None,
+    *,
+    fileobj: Optional[TextIO] = None,
+) -> str:
+    """Write the policy sweep as a long-format CSV; returns the file path."""
+    if fileobj is None:
+        if path is None:
+            path = os.path.join(results_dir(), "replan_policy_sweep.csv")
+        handle: TextIO = open(path, "w", newline="")
+        close = True
+    else:
+        handle = fileobj
+        close = False
+        path = path or "<stream>"
+    try:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "policy", "algorithm", "analytic_s", "mean_s",
+            "degradation", "p95_degradation", "mean_killed", "mean_remapped",
+        ])
+        for p in result.points:
+            writer.writerow([
+                p.policy,
+                p.algorithm,
+                f"{p.analytic_s:.6f}",
+                f"{p.mean_s:.6f}",
+                f"{p.degradation:.6f}",
+                f"{p.p95_degradation:.6f}",
+                f"{p.mean_killed:.6f}",
+                f"{p.mean_remapped:.6f}",
+            ])
+    finally:
+        if close:
+            handle.close()
+    return path
+
+
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(
-        description="Mapper robustness under runtime noise"
+        description="Mapper robustness under runtime noise / device failure"
     )
     parser.add_argument(
         "--scale", default="smoke", choices=["smoke", "small", "paper"]
     )
-    parser.add_argument("--seed", type=int, default=77)
+    parser.add_argument(
+        "--study", default="noise", choices=["noise", "replan"],
+        help="noise degradation sweep or failure re-mapping policy sweep",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: scale config; 0 = all CPUs)",
+    )
     parser.add_argument(
         "--csv", action="store_true", help="also write a CSV into ./results/"
     )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args()
     progress = None if args.quiet else (lambda msg: print(f"  [{msg}]"))
-    result = run(scale=args.scale, seed=args.seed, progress=progress)
-    print_report(result)
-    if args.csv:
-        print(f"csv written to {write_robustness_csv(result)}")
+    if args.study == "replan":
+        seed = 78 if args.seed is None else args.seed
+        replan = run_replan(
+            scale=args.scale, seed=seed, workers=args.workers,
+            progress=progress,
+        )
+        print_report(replan)
+        if args.csv:
+            print(f"csv written to {write_replan_csv(replan)}")
+    else:
+        seed = 77 if args.seed is None else args.seed
+        result = run(
+            scale=args.scale, seed=seed, workers=args.workers,
+            progress=progress,
+        )
+        print_report(result)
+        if args.csv:
+            print(f"csv written to {write_robustness_csv(result)}")

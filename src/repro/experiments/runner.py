@@ -11,7 +11,11 @@ follow the same pattern:
 4. aggregate per sweep point into :class:`SweepSeries` rows.
 
 Seeds are derived from a root :class:`numpy.random.SeedSequence`, making
-every experiment reproducible end to end.
+every experiment reproducible end to end.  Graphs within a point are
+independent work items, so ``run_point``/``run_sweep`` fan them out
+through :mod:`repro.parallel` — ``workers=N`` results are bit-identical
+to serial ones (see the seed-sharding contract in
+``src/repro/parallel/README.md``).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import numpy as np
 from ..evaluation.evaluator import MappingEvaluator
 from ..graphs.taskgraph import TaskGraph
 from ..mappers.base import Mapper
+from ..parallel import parallel_map
 from ..platform.platform import Platform
 from .metrics import AggregateStats, aggregate
 
@@ -76,6 +81,32 @@ class SweepResult:
         return out
 
 
+def _point_graph_worker(item) -> List[tuple]:
+    """Run every mapper on one graph (one parallel work item).
+
+    Module-level so the process pool can pickle it by reference; all
+    randomness comes from the :class:`~numpy.random.SeedSequence`
+    carried in the item (seed-sharding contract).
+    """
+    g, gseed, mappers, platform, n_random_schedules = item
+    eval_rng, *mapper_rngs = [
+        np.random.default_rng(s) for s in gseed.spawn(1 + len(mappers))
+    ]
+    evaluator = MappingEvaluator(
+        g, platform, rng=eval_rng, n_random_schedules=n_random_schedules
+    )
+    out = []
+    for mapper, rng in zip(mappers, mapper_rngs):
+        result = mapper.map(evaluator, rng=rng)
+        out.append((
+            mapper.name,
+            evaluator.relative_improvement(result.mapping),
+            result.elapsed_s,
+            float(result.n_evaluations),
+        ))
+    return out
+
+
 def run_point(
     mappers: Sequence[Mapper],
     graphs: Sequence[TaskGraph],
@@ -84,30 +115,32 @@ def run_point(
     seed=0,
     n_random_schedules: int = 100,
     x: float = 0.0,
+    workers: int = 1,
+    executor=None,
 ) -> PointResult:
     """Run every mapper on every graph of one sweep point.
 
     ``seed`` may be an int or a :class:`numpy.random.SeedSequence`.
+    ``workers > 1`` fans the graphs out across a process pool; seeds are
+    spawned per graph before dispatch, so results are identical to a
+    serial run.  ``executor`` reuses a caller-owned pool (see
+    :func:`repro.parallel.parallel_map`).
     """
     seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     graph_seeds = seq.spawn(len(graphs))
     improvements: Dict[str, List[float]] = {m.name: [] for m in mappers}
     times: Dict[str, List[float]] = {m.name: [] for m in mappers}
     evals: Dict[str, List[float]] = {m.name: [] for m in mappers}
-    for g, gseed in zip(graphs, graph_seeds):
-        eval_rng, *mapper_rngs = [
-            np.random.default_rng(s) for s in gseed.spawn(1 + len(mappers))
-        ]
-        evaluator = MappingEvaluator(
-            g, platform, rng=eval_rng, n_random_schedules=n_random_schedules
-        )
-        for mapper, rng in zip(mappers, mapper_rngs):
-            result = mapper.map(evaluator, rng=rng)
-            improvements[mapper.name].append(
-                evaluator.relative_improvement(result.mapping)
-            )
-            times[mapper.name].append(result.elapsed_s)
-            evals[mapper.name].append(float(result.n_evaluations))
+    items = [
+        (g, gseed, list(mappers), platform, n_random_schedules)
+        for g, gseed in zip(graphs, graph_seeds)
+    ]
+    for rows in parallel_map(_point_graph_worker, items, workers=workers,
+                             executor=executor):
+        for name, imp, elapsed, n_evals in rows:
+            improvements[name].append(imp)
+            times[name].append(elapsed)
+            evals[name].append(n_evals)
     return PointResult(
         x=x,
         improvements={k: aggregate(v) for k, v in improvements.items()},
@@ -127,29 +160,44 @@ def run_sweep(
     seed: int = 0,
     n_random_schedules: int = 100,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> SweepResult:
     """Run a full parameter sweep.
 
     ``make_graphs(x, rng)`` builds the graph set of a sweep point;
     ``make_mappers(x)`` the algorithms (some figures vary algorithm
     parameters along x, e.g. Fig. 6 sweeps NSGA-II generations).
+    ``workers`` sizes the process pool, created once and reused across
+    every sweep point (per-point pools would pay fork/teardown at each x).
     """
+    from contextlib import nullcontext
+
     result = SweepResult(title=title, x_label=x_label)
     root = np.random.SeedSequence(seed)
-    for x, sub in zip(xs, root.spawn(len(xs))):
-        gen_seed, point_seed = sub.spawn(2)
-        rng = np.random.default_rng(gen_seed)
-        graphs = make_graphs(x, rng)
-        mappers = make_mappers(x)
-        point = run_point(
-            mappers,
-            graphs,
-            platform,
-            seed=point_seed,
-            n_random_schedules=n_random_schedules,
-            x=float(x),
-        )
-        result.points.append(point)
-        if progress is not None:
-            progress(f"{title}: {x_label}={x} done")
+    workers = max(1, int(workers))
+    if workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool_ctx = ProcessPoolExecutor(max_workers=workers)
+    else:
+        pool_ctx = nullcontext(None)
+    with pool_ctx as executor:
+        for x, sub in zip(xs, root.spawn(len(xs))):
+            gen_seed, point_seed = sub.spawn(2)
+            rng = np.random.default_rng(gen_seed)
+            graphs = make_graphs(x, rng)
+            mappers = make_mappers(x)
+            point = run_point(
+                mappers,
+                graphs,
+                platform,
+                seed=point_seed,
+                n_random_schedules=n_random_schedules,
+                x=float(x),
+                workers=workers,
+                executor=executor,
+            )
+            result.points.append(point)
+            if progress is not None:
+                progress(f"{title}: {x_label}={x} done")
     return result

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..graphs.generators import random_sp_graph
 from ..mappers import sn_first_fit, sp_first_fit, single_node, series_parallel
+from ..parallel import resolve_workers
 from ..platform import paper_platform
 from .config import get_scale
 from .runner import SweepResult, run_sweep
@@ -34,6 +35,7 @@ def run(
     scale="smoke",
     *,
     seed: int = 30,
+    workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResult:
     cfg = get_scale(scale)
@@ -57,6 +59,7 @@ def run(
         seed=seed,
         n_random_schedules=max(5, cfg.n_random_schedules // 5),
         progress=progress,
+        workers=resolve_workers(workers, cfg.parallel_workers),
     )
 
 
@@ -84,10 +87,14 @@ if __name__ == "__main__":
         "--scale", default="smoke", choices=["smoke", "small", "paper"]
     )
     parser.add_argument("--seed", type=int, default=30)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: scale config; 0 = all CPUs)",
+    )
     args = parser.parse_args()
     from .reporting import print_sweep
 
-    result = run(scale=args.scale, seed=args.seed)
+    result = run(scale=args.scale, seed=args.seed, workers=args.workers)
     print_sweep(result)
     print("\nfitted time ~ n^alpha exponents:")
     for name, alpha in fit_exponents(result).items():

@@ -32,11 +32,53 @@ from ..mappers import (
     sn_first_fit,
     sp_first_fit,
 )
+from ..parallel import parallel_map, resolve_workers
 from ..platform import paper_platform
 from .config import get_scale
 from .reporting import results_dir
 
 __all__ = ["Table1Result", "run", "format_table"]
+
+
+def _mappers(cfg):
+    return [
+        HeftMapper(),
+        PeftMapper(),
+        NsgaIIMapper(generations=cfg.table1_generations),
+        sn_first_fit(),
+        sp_first_fit(),
+    ]
+
+
+def _param_worker(item) -> Dict[str, tuple]:
+    """One (family, size, parameterization) cell — a parallel work item.
+
+    All randomness (graph generation, augmentation, schedule suite,
+    mapper runs) derives from the :class:`~numpy.random.SeedSequence`
+    carried in the item, so the pool is bit-identical to a serial loop
+    for every seed-derived quantity (wall-clock ``elapsed_s`` excepted).
+    """
+    family, size, param_seed, cfg, platform = item
+    mappers = _mappers(cfg)
+    gen_rng, aug_rng, eval_rng, *mapper_rngs = [
+        np.random.default_rng(s)
+        for s in param_seed.spawn(3 + len(mappers))
+    ]
+    g = make_workflow(family, size, gen_rng)
+    augment_workflow(g, aug_rng)
+    evaluator = MappingEvaluator(
+        g,
+        platform,
+        rng=eval_rng,
+        n_random_schedules=cfg.n_random_schedules,
+    )
+    out: Dict[str, tuple] = {}
+    for mapper, rng in zip(mappers, mapper_rngs):
+        res = mapper.map(evaluator, rng=rng)
+        out[mapper.name] = (
+            evaluator.relative_improvement(res.mapping), res.elapsed_s
+        )
+    return out
 
 
 @dataclass
@@ -56,48 +98,44 @@ def run(
     *,
     seed: int = 10,
     families: Optional[List[str]] = None,
+    workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Table1Result:
     cfg = get_scale(scale)
+    workers = resolve_workers(workers, cfg.parallel_workers)
     platform = paper_platform()
     sizes = benchmark_sizes(cfg.table1_sizes_key)
     if families is not None:
         sizes = {f: sizes[f] for f in families}
 
-    mappers = [
-        HeftMapper(),
-        PeftMapper(),
-        NsgaIIMapper(generations=cfg.table1_generations),
-        sn_first_fit(),
-        sp_first_fit(),
-    ]
-    result = Table1Result(algorithms=[m.name for m in mappers])
+    names = [m.name for m in _mappers(cfg)]
+    result = Table1Result(algorithms=names)
 
+    # enumerate every (family, size, parameterization) cell with its seed
+    # in the fixed serial order, then fan out (seed-sharding contract)
     root = np.random.SeedSequence(seed)
+    items = []
     for family, family_seed in zip(sorted(sizes), root.spawn(len(sizes))):
-        imps: Dict[str, List[float]] = {m.name: [] for m in mappers}
-        per_graph_time: Dict[str, List[float]] = {m.name: [] for m in mappers}
-        for size, size_seed in zip(sizes[family], family_seed.spawn(len(sizes[family]))):
-            times_this_graph: Dict[str, List[float]] = {m.name: [] for m in mappers}
+        for size, size_seed in zip(
+            sizes[family], family_seed.spawn(len(sizes[family]))
+        ):
             for param_seed in size_seed.spawn(cfg.table1_parameterizations):
-                gen_rng, aug_rng, eval_rng, *mapper_rngs = [
-                    np.random.default_rng(s)
-                    for s in param_seed.spawn(3 + len(mappers))
-                ]
-                g = make_workflow(family, size, gen_rng)
-                augment_workflow(g, aug_rng)
-                evaluator = MappingEvaluator(
-                    g,
-                    platform,
-                    rng=eval_rng,
-                    n_random_schedules=cfg.n_random_schedules,
-                )
-                for mapper, rng in zip(mappers, mapper_rngs):
-                    res = mapper.map(evaluator, rng=rng)
-                    imps[mapper.name].append(
-                        evaluator.relative_improvement(res.mapping)
-                    )
-                    times_this_graph[mapper.name].append(res.elapsed_s)
+                items.append((family, size, param_seed, cfg, platform))
+    cells = parallel_map(
+        _param_worker, items, workers=workers,
+        progress=progress, label="table1 cell",
+    )
+
+    it = iter(cells)
+    for family in sorted(sizes):
+        imps: Dict[str, List[float]] = {n: [] for n in names}
+        per_graph_time: Dict[str, List[float]] = {n: [] for n in names}
+        for size in sizes[family]:
+            times_this_graph: Dict[str, List[float]] = {n: [] for n in names}
+            for _ in range(cfg.table1_parameterizations):
+                for name, (imp, elapsed) in next(it).items():
+                    imps[name].append(imp)
+                    times_this_graph[name].append(elapsed)
             for name, times in times_this_graph.items():
                 per_graph_time[name].append(float(np.mean(times)))
             if progress is not None:
@@ -165,12 +203,17 @@ if __name__ == "__main__":
     )
     parser.add_argument("--seed", type=int, default=10)
     parser.add_argument("--families", nargs="*", default=None)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size (default: scale config; 0 = all CPUs)",
+    )
     parser.add_argument("--csv", action="store_true")
     args = parser.parse_args()
     table = run(
         scale=args.scale,
         seed=args.seed,
         families=args.families,
+        workers=args.workers,
         progress=lambda msg: print(f"  [{msg}]"),
     )
     print(format_table(table))

@@ -1,0 +1,19 @@
+"""Parallel experiment backbone: deterministic process-pool fan-out.
+
+Every experiment driver (:mod:`repro.experiments`) runs its
+per-(configuration, replication) work through :func:`parallel_map`, so a
+sweep scales across cores with ``--workers N`` while staying bit-identical
+to a serial run.  The invariant rests on the *seed-sharding contract*
+documented in :mod:`repro.parallel.pool` (and ``README.md`` next to it):
+seeds are spawned in serial enumeration order before dispatch, workers are
+pure functions of their items, and results are re-assembled in submission
+order.
+
+>>> from repro.parallel import parallel_map
+>>> parallel_map(abs, [-3, -1, 2], workers=2)
+[3, 1, 2]
+"""
+
+from .pool import parallel_map, resolve_workers, spawn_seeds
+
+__all__ = ["parallel_map", "resolve_workers", "spawn_seeds"]

@@ -1,0 +1,138 @@
+"""Process-pool execution backbone with deterministic seed sharding.
+
+All experiment drivers fan their per-(configuration, replication) work out
+through :func:`parallel_map`.  The contract that makes ``--workers N``
+results bit-identical to a serial run is simple and strict:
+
+1. **Seeds are derived before dispatch.**  The driver enumerates its work
+   items in a fixed serial order and attaches every random input (a
+   :class:`numpy.random.SeedSequence` child, spawned in that same order)
+   to the item itself.  Workers never draw from shared random state.
+2. **Workers are pure.**  A worker function receives one picklable item
+   and returns a picklable result that depends only on the item — no
+   globals, no files, no wall clock in the result payload.
+3. **Results are re-assembled in submission order.**  Whatever order the
+   pool completes items in, :func:`parallel_map` returns ``results[k]``
+   for item ``k`` — so downstream aggregation (means over graphs, CSV row
+   order) is independent of scheduling.
+
+Under these rules ``parallel_map(fn, items, workers=1)`` and
+``workers=N`` produce the *same floats in the same order*: the serial
+path is a plain in-process loop over the identical items.
+
+The pool uses :class:`concurrent.futures.ProcessPoolExecutor`, so worker
+functions must be module-level (picklable by reference).  Wall-clock
+fields (mapper ``elapsed_s``) are of course still nondeterministic; the
+equivalence guarantee covers every seed-derived quantity.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar, Union
+
+import numpy as np
+
+__all__ = ["parallel_map", "resolve_workers", "spawn_seeds"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int], default: int = 1) -> int:
+    """Normalize a ``--workers`` request into an effective pool size.
+
+    ``None`` means "use the configured default" (the ``parallel_workers``
+    dim of the active :class:`~repro.experiments.config.ScaleConfig`);
+    ``0`` or negative means "one worker per CPU".  The result is always
+    at least 1.
+    """
+    if workers is None:
+        workers = default
+    workers = int(workers)
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def spawn_seeds(
+    seed: Union[int, np.random.SeedSequence], n: int
+) -> List[np.random.SeedSequence]:
+    """Spawn ``n`` independent seed-sequence children in serial order.
+
+    This is the sharding half of the contract: call it once, in the
+    driver's enumeration order, and attach ``seeds[k]`` to work item
+    ``k`` — never spawn inside a worker.
+    """
+    root = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return root.spawn(n)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    label: str = "task",
+    executor=None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Returns results in item order regardless of completion order.  With
+    ``workers <= 1`` (or a single item) this is a plain serial loop — the
+    reference behaviour the pool path must reproduce bit-identically.
+    The first worker exception is re-raised in the parent.
+
+    ``executor`` lets a caller that issues many small batches (a sweep
+    with one :func:`parallel_map` per point) reuse one long-lived
+    :class:`~concurrent.futures.ProcessPoolExecutor` instead of paying
+    pool startup/teardown per batch; the caller owns its lifetime.
+    """
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        return []
+    workers = min(resolve_workers(workers), n)
+    if workers == 1 and executor is None:
+        results = []
+        for k, item in enumerate(items):
+            results.append(fn(item))
+            if progress is not None:
+                progress(f"{label} {k + 1}/{n}")
+        return results
+    if executor is not None:
+        return _pooled_map(executor, fn, items, progress, label)
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return _pooled_map(pool, fn, items, progress, label)
+
+
+def _pooled_map(pool, fn, items, progress, label) -> List:
+    """Submit all items to ``pool``; gather results in item order."""
+    from concurrent.futures import FIRST_EXCEPTION, wait
+
+    n = len(items)
+    results: List = [None] * n
+    futures = {pool.submit(fn, item): k for k, item in enumerate(items)}
+    pending = set(futures)
+    done_count = 0
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+        for fut in done:
+            exc = fut.exception()
+            if exc is not None:
+                for other in pending:
+                    other.cancel()
+                raise exc
+            results[futures[fut]] = fut.result()
+            done_count += 1
+            if progress is not None:
+                progress(f"{label} {done_count}/{n}")
+    return results

@@ -38,6 +38,7 @@ from .events import (
     DeviceFailed,
     DeviceSlowed,
     Event,
+    FallbackDead,
     JobArrived,
     JobCompleted,
     TaskFinished,
@@ -45,6 +46,13 @@ from .events import (
     TaskReady,
     TaskRemapped,
     TaskStarted,
+)
+from .replan import (
+    REPLAN_POLICY_NAMES,
+    MapperReplanPolicy,
+    ReplanContext,
+    ReplanPolicy,
+    make_replan_policy,
 )
 from .metrics import (
     RobustnessReport,
@@ -79,6 +87,12 @@ __all__ = [
     "TaskRemapped",
     "DeviceSlowed",
     "DeviceFailed",
+    "FallbackDead",
+    "REPLAN_POLICY_NAMES",
+    "ReplanContext",
+    "ReplanPolicy",
+    "MapperReplanPolicy",
+    "make_replan_policy",
     "Scenario",
     "DeviceSlowdown",
     "DeviceFailure",

@@ -51,6 +51,7 @@ from ..evaluation.trace import TaskTrace
 from ..graphs.taskgraph import TaskGraph
 from ..platform.platform import Platform
 from . import events as ev
+from .replan import ReplanContext, ReplanPolicy, make_replan_policy
 from .scenarios import DeviceFailure, DeviceSlowdown, Job, Scenario
 from .stochastic import NoNoise, PerturbationModel
 
@@ -98,6 +99,8 @@ class RuntimeTrace:
     events: List[ev.Event]
     makespan: float            # latest job completion (absolute time)
     device_busy: List[float]   # summed execution seconds per device
+    #: failures whose designated fallback device was itself already dead
+    n_fallback_dead: int = 0
 
     @property
     def tasks(self) -> List[TaskTrace]:
@@ -211,9 +214,11 @@ class RuntimeEngine:
         *,
         noise: Optional[PerturbationModel] = None,
         scenarios: Sequence[Scenario] = (),
+        replan_policy: Union[None, str, ReplanPolicy] = None,
     ) -> None:
         self.platform = platform
         self.noise = noise if noise is not None else NoNoise()
+        self.replan_policy = make_replan_policy(replan_policy)
         self.scenarios = sorted(scenarios, key=lambda s: s.time)
         m = platform.n_devices
         for scn in self.scenarios:
@@ -270,6 +275,7 @@ class RuntimeEngine:
         self._heap: List[tuple] = []
         self._seq = 0
         self._now = 0.0
+        self._n_fallback_dead = 0
 
         for k, job in enumerate(sorted(jobs, key=lambda j: j.arrival)):
             self._push(job.arrival, _ARRIVAL, ("arrival", job))
@@ -319,16 +325,37 @@ class RuntimeEngine:
         js = _JobState(len(self._jobs), job, model, self.noise, rng)
         self._emit(ev.JobArrived(self._now, js.name))
         # tasks targeted at an already-dead device move to a surviving,
-        # area-feasible device
+        # area-feasible device; with a replan policy the whole arriving
+        # job (nothing has started yet) is spliced onto the policy's
+        # mapping for the surviving platform, same as a mid-run failure
         dead = [i for i in range(model.n) if not self._alive[js.mapping[i]]]
         if dead:
-            old_devices = {i: js.mapping[i] for i in dead}
-            for i, target in self._remap_tasks(js, dead, None).items():
+            proposal = None
+            if self.replan_policy is not None:
+                proposal = self.replan_policy.propose(ReplanContext(
+                    graph=model.graph,
+                    platform=self.platform,
+                    alive=tuple(self._alive),
+                    mapping=tuple(js.mapping),
+                    movable=tuple(range(model.n)),
+                    failed=None,
+                    fallback=None,
+                ))
+            if proposal is None:
+                targets = self._remap_tasks(js, dead, None)
+            else:
+                targets = self._remap_tasks(
+                    js, list(range(model.n)), None, desired=proposal
+                )
+            for i, target in targets.items():
+                old = js.mapping[i]
+                if target == old:
+                    continue
                 js.mapping[i] = target
                 js.ready_val[i] = js.input_ready(i)
                 js.n_remapped += 1
                 self._emit(ev.TaskRemapped(
-                    self._now, js.name, model.tasks[i], old_devices[i], target
+                    self._now, js.name, model.tasks[i], old, target
                 ))
         if not model.is_feasible(js.mapping):
             raise ValueError(
@@ -449,15 +476,21 @@ class RuntimeEngine:
     # scenarios: rollback + replan
     # ------------------------------------------------------------------
     def _remap_tasks(
-        self, js: _JobState, tasks: List[int], preferred: Optional[int]
+        self,
+        js: _JobState,
+        tasks: List[int],
+        preferred: Optional[int],
+        desired: Optional[Dict[int, int]] = None,
     ) -> Dict[int, int]:
         """Pick an alive, area-feasible target device for each task.
 
         Area budgets are per job (see :mod:`repro.runtime.scenarios`):
         usage counts every task still mapped to an area-limited device —
         including finished ones, whose bitstreams occupied the fabric —
-        minus the tasks being moved.  Preference order: the explicit
-        fallback device, then lowest index.
+        minus the tasks being moved.  Preference order: the task's entry
+        in ``desired`` (a replan policy's proposal — tried first when the
+        device is alive, so an overflowing or dead proposal degrades
+        gracefully), then the explicit fallback device, then lowest index.
         """
         if not tasks:
             return {}
@@ -477,8 +510,13 @@ class RuntimeEngine:
             candidates.insert(0, preferred)
         targets: Dict[int, int] = {}
         for i in tasks:
+            order = candidates
+            if desired is not None:
+                want = desired.get(i, js.mapping[i])
+                if self._alive[want]:
+                    order = [want] + [d for d in candidates if d != want]
             area = model._area[i]
-            for d in candidates:
+            for d in order:
                 if d in limits and usage[d] + area > limits[d] + 1e-9:
                     continue
                 targets[i] = d
@@ -531,23 +569,54 @@ class RuntimeEngine:
 
         # 2) move unfinished work off the failed device (area-aware: a
         #    fallback that would blow an FPGA budget is skipped for the
-        #    next surviving device)
+        #    next surviving device).  With a replan policy, *every*
+        #    not-yet-started task may move: the policy re-runs a mapper on
+        #    the surviving platform and the fresh mapping is spliced in.
         if failed is not None:
             if fallback is not None and not self._alive[fallback]:
+                # the designated fallback is itself dead: record it loudly
+                # (the area-aware _remap_tasks path takes over) instead of
+                # silently coercing to None
+                self._n_fallback_dead += 1
+                self._emit(ev.FallbackDead(t, fallback, failed))
                 fallback = None
+            policy = self.replan_policy
             for js in self._jobs:
-                stranded = [
+                movable = [
                     i for i in range(js.model.n)
-                    if not js.done[i] and js.mapping[i] == failed
+                    if not js.done[i] and not js.committed[i]
                 ]
-                for i, target in self._remap_tasks(js, stranded, fallback).items():
+                proposal = None
+                if policy is not None and movable:
+                    proposal = policy.propose(ReplanContext(
+                        graph=js.model.graph,
+                        platform=self.platform,
+                        alive=tuple(self._alive),
+                        mapping=tuple(js.mapping),
+                        movable=tuple(movable),
+                        failed=failed,
+                        fallback=fallback,
+                    ))
+                if proposal is None:
+                    stranded = [
+                        i for i in movable if js.mapping[i] == failed
+                    ]
+                    targets = self._remap_tasks(js, stranded, fallback)
+                else:
+                    targets = self._remap_tasks(
+                        js, movable, fallback, desired=proposal
+                    )
+                for i, target in targets.items():
+                    old = js.mapping[i]
+                    if target == old:
+                        continue
                     js.mapping[i] = target
-                    # any logged TaskReady named the dead device; re-announce
+                    # any logged TaskReady named the old device; re-announce
                     # readiness on the device the task will actually run on
                     js.state[i] = _RELEASED
                     js.n_remapped += 1
                     self._emit(ev.TaskRemapped(
-                        t, js.name, js.model.tasks[i], failed, target
+                        t, js.name, js.model.tasks[i], old, target
                     ))
 
         # 3) rebuild the planning frontier of every uncommitted task
@@ -633,6 +702,7 @@ class RuntimeEngine:
             events=self._log,
             makespan=makespan,
             device_busy=list(self._busy),
+            n_fallback_dead=self._n_fallback_dead,
         )
 
 
@@ -647,7 +717,10 @@ def simulate_mapping(
     order: Optional[Sequence[int]] = None,
     rng: Union[None, int, np.random.Generator] = None,
     name: str = "job0",
+    replan_policy: Union[None, str, ReplanPolicy] = None,
 ) -> RuntimeTrace:
     """Run one static mapping through the engine and return its trace."""
-    engine = RuntimeEngine(platform, noise=noise, scenarios=scenarios)
+    engine = RuntimeEngine(
+        platform, noise=noise, scenarios=scenarios, replan_policy=replan_policy
+    )
     return engine.run(Job(graph, mapping, name=name, order=order), rng=rng)

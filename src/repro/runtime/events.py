@@ -26,6 +26,7 @@ __all__ = [
     "TaskRemapped",
     "DeviceSlowed",
     "DeviceFailed",
+    "FallbackDead",
     "JobCompleted",
 ]
 
@@ -113,6 +114,18 @@ class DeviceFailed(Event):
     """A device dropped out; unfinished work moves to a fallback device."""
 
     device: int
+
+
+@dataclass(frozen=True)
+class FallbackDead(Event):
+    """A failure's designated fallback device was itself already dead.
+
+    Stranded work is rescued by the area-aware remapping path instead;
+    the trace counts these in ``RuntimeTrace.n_fallback_dead``.
+    """
+
+    fallback: int
+    failed: int
 
 
 @dataclass(frozen=True)

@@ -27,6 +27,7 @@ from ..evaluation.costmodel import CostModel
 from ..graphs.taskgraph import TaskGraph
 from ..platform.platform import Platform
 from .engine import RuntimeEngine, RuntimeTrace
+from .replan import ReplanPolicy
 from .scenarios import Job, Scenario
 from .stochastic import PerturbationModel
 
@@ -100,12 +101,20 @@ def replicate(
     scenarios: Sequence[Scenario] = (),
     order: Optional[Sequence[int]] = None,
     seed: Union[int, np.random.SeedSequence] = 0,
+    replan_policy: Union[None, str, ReplanPolicy] = None,
 ) -> List[RuntimeTrace]:
     """Run ``n`` independently-seeded replications of one static mapping.
 
     Seeds are spawned from a root :class:`numpy.random.SeedSequence`, the
     same scheme the experiment runner uses, so replication ``k`` of a
-    configuration is reproducible in isolation.
+    configuration is reproducible in isolation.  Children are derived
+    *statelessly* (``spawn_key + (2**32 + k,)``), so the call never
+    mutates the root: passing the same root twice — or sharing it across
+    the cells of a paired experiment, possibly in different worker
+    processes — always replays the same ``n`` draws.  The ``2**32``
+    offset keeps the keys out of the space ``SeedSequence.spawn`` uses
+    (numpy's documented convention), so replication streams can never
+    collide with children a caller spawns from the same root.
     """
     if n < 1:
         raise ValueError("need at least one replication")
@@ -114,9 +123,16 @@ def replicate(
         if isinstance(seed, np.random.SeedSequence)
         else np.random.SeedSequence(seed)
     )
-    engine = RuntimeEngine(platform, noise=noise, scenarios=scenarios)
+    engine = RuntimeEngine(
+        platform, noise=noise, scenarios=scenarios, replan_policy=replan_policy
+    )
     traces = []
-    for child in root.spawn(n):
+    for k in range(n):
+        child = np.random.SeedSequence(
+            entropy=root.entropy,
+            spawn_key=tuple(root.spawn_key) + (2**32 + k,),
+            pool_size=root.pool_size,
+        )
         job = Job(graph, mapping, order=order)
         traces.append(engine.run(job, rng=np.random.default_rng(child)))
     return traces

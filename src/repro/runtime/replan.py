@@ -1,0 +1,225 @@
+"""Online re-mapping policies: what to do with stranded work on failure.
+
+When a :class:`~repro.runtime.scenarios.DeviceFailure` fires, the engine
+must move every unfinished task off the dead device.  The baseline policy
+(``"fallback"``) is the paper-era behaviour: dump stranded tasks onto a
+fixed fallback device (or the lowest surviving index), area-aware but
+blind to load balance — after a GPU failure the whole GPU queue lands on
+the host CPU even while an idle FPGA survives.
+
+A :class:`MapperReplanPolicy` instead *re-runs a static mapper on the
+surviving platform*: it restricts the platform to the alive devices,
+maps the job's graph from scratch with a configurable algorithm
+(decomposition / HEFT / min-min), and the engine splices the fresh
+mapping into the in-flight job — tasks that already finished or started
+keep their devices and results; every not-yet-started task moves to the
+device the re-run mapper chose for it.  Area budgets are re-validated at
+splice time against the bitstreams the frozen tasks still occupy, so a
+proposal that would overflow an FPGA degrades gracefully to the next
+surviving feasible device instead of aborting the run.
+
+Policies are deterministic: a policy holds its own seed, so a fixed
+engine seed still fully determines the trace — the reproducibility
+contract of :mod:`repro.runtime.engine` extends to replanning.
+
+Select a policy by name (:func:`make_replan_policy`,
+``repro simulate --replan-policy heft``) or pass an instance to
+:class:`~repro.runtime.engine.RuntimeEngine`.
+"""
+
+from __future__ import annotations
+
+import abc
+import weakref
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..graphs.taskgraph import TaskGraph
+from ..platform.platform import Platform
+
+__all__ = [
+    "REPLAN_POLICY_NAMES",
+    "ReplanContext",
+    "ReplanPolicy",
+    "MapperReplanPolicy",
+    "make_replan_policy",
+]
+
+
+@dataclass(frozen=True)
+class ReplanContext:
+    """Snapshot handed to a policy when a device failure triggers a replan.
+
+    ``movable`` lists the task indices the engine may move: tasks neither
+    finished nor already started (committed decisions are never
+    rewritten).  ``mapping`` is the job's full current mapping, including
+    frozen tasks, so a policy can account for occupied FPGA area.
+    ``failed`` names the device whose failure triggered the replan, or is
+    ``None`` when a job *arrives* onto a platform that already lost
+    devices (every task is movable then).
+    """
+
+    graph: TaskGraph
+    platform: Platform
+    alive: Tuple[bool, ...]
+    mapping: Tuple[int, ...]
+    movable: Tuple[int, ...]
+    failed: Optional[int]
+    fallback: Optional[int]
+
+    def alive_indices(self) -> List[int]:
+        return [d for d, ok in enumerate(self.alive) if ok]
+
+
+class ReplanPolicy(abc.ABC):
+    """Strategy interface: propose new devices for the movable tasks."""
+
+    #: short name used by the CLI and the experiment tables
+    name: str = ""
+
+    @abc.abstractmethod
+    def propose(self, ctx: ReplanContext) -> Optional[Dict[int, int]]:
+        """Return ``{task_index: device_index}`` for (a subset of) the
+        movable tasks, in *global* device indices, or ``None`` to fall
+        back to the fixed-fallback behaviour.  The engine re-validates
+        area feasibility; a proposal is a preference, not a contract.
+        """
+
+
+class _FixedFallbackPolicy(ReplanPolicy):
+    """The legacy behaviour, as an explicit policy object."""
+
+    name = "fallback"
+
+    def propose(self, ctx: ReplanContext) -> Optional[Dict[int, int]]:
+        return None
+
+
+def _surviving_platform(platform: Platform, alive: Sequence[int]) -> Platform:
+    """Restrict a platform to the given (sorted) device indices."""
+    idx = np.asarray(alive, dtype=int)
+    return Platform(
+        [platform.devices[d] for d in alive],
+        platform.bandwidth_gbps[np.ix_(idx, idx)],
+        platform.latency_s[np.ix_(idx, idx)],
+    )
+
+
+class MapperReplanPolicy(ReplanPolicy):
+    """Re-run a static mapper on the surviving platform and splice.
+
+    ``factory`` builds a fresh :class:`~repro.mappers.base.Mapper` per
+    proposal (mappers are cheap to construct; some are stateful during a
+    run).  The policy owns its randomness: ``seed`` feeds both the
+    evaluator's schedule suite and the mapper, so proposals are a pure
+    function of (graph, surviving platform) and the engine's trace stays
+    seed-deterministic.  Proposals are cached per (graph, alive-set) —
+    weakly keyed on the graph object itself, so entries die with their
+    graph and a recycled object can never be served a stale mapping —
+    and repeated failures or multiple jobs on the same graph pay for one
+    mapper run.
+
+    Requires the host (device 0) to survive — the cost model stages all
+    I/O through it — and falls back to the fixed-fallback path otherwise.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], "object"],
+        name: str,
+        *,
+        seed: int = 0,
+        n_random_schedules: int = 8,
+    ) -> None:
+        self.factory = factory
+        self.name = name
+        self.seed = int(seed)
+        self.n_random_schedules = int(n_random_schedules)
+        self._cache: "weakref.WeakKeyDictionary[TaskGraph, Dict[Tuple[bool, ...], List[int]]]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def propose(self, ctx: ReplanContext) -> Optional[Dict[int, int]]:
+        if not ctx.alive[ctx.platform.host_index]:
+            return None  # no host left to stage transfers through
+        alive = ctx.alive_indices()
+        if len(alive) < 2:
+            return None  # single survivor: nothing to optimize
+        per_graph = self._cache.setdefault(ctx.graph, {})
+        full = per_graph.get(ctx.alive)
+        if full is None:
+            full = self._map_surviving(ctx.graph, ctx.platform, alive)
+            per_graph[ctx.alive] = full
+        return {i: full[i] for i in ctx.movable}
+
+    def _map_surviving(
+        self, graph: TaskGraph, platform: Platform, alive: List[int]
+    ) -> List[int]:
+        from ..evaluation.evaluator import MappingEvaluator
+
+        sub = _surviving_platform(platform, alive)
+        evaluator = MappingEvaluator(
+            graph,
+            sub,
+            rng=np.random.default_rng(self.seed),
+            n_random_schedules=self.n_random_schedules,
+        )
+        result = self.factory().map(
+            evaluator, rng=np.random.default_rng(self.seed)
+        )
+        return [alive[int(d)] for d in result.mapping]
+
+
+def _decomposition_factory():
+    from ..mappers import sp_first_fit
+
+    return sp_first_fit()
+
+
+def _heft_factory():
+    from ..mappers import HeftMapper
+
+    return HeftMapper()
+
+
+def _minmin_factory():
+    from ..mappers import MinMinMapper
+
+    return MinMinMapper()
+
+
+_FACTORIES: Dict[str, Callable[[], "object"]] = {
+    "decomposition": _decomposition_factory,
+    "heft": _heft_factory,
+    "minmin": _minmin_factory,
+}
+
+#: names accepted by :func:`make_replan_policy` and the CLI
+REPLAN_POLICY_NAMES: Tuple[str, ...] = ("fallback",) + tuple(sorted(_FACTORIES))
+
+
+def make_replan_policy(
+    spec: Union[None, str, ReplanPolicy], *, seed: int = 0
+) -> Optional[ReplanPolicy]:
+    """Resolve a policy spec: ``None``/``"fallback"`` → legacy behaviour.
+
+    Returns ``None`` for the fixed-fallback default so the engine's hot
+    path stays branch-free; any other name builds the matching
+    :class:`MapperReplanPolicy`.  Policy instances pass through.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, ReplanPolicy):
+        return None if isinstance(spec, _FixedFallbackPolicy) else spec
+    name = str(spec)
+    if name == "fallback":
+        return None
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown replan policy {name!r}; "
+            f"choose from {', '.join(REPLAN_POLICY_NAMES)}"
+        )
+    return MapperReplanPolicy(factory, name, seed=seed)

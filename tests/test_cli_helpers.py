@@ -31,22 +31,25 @@ class TestRunCli:
         )
         calls = {}
 
-        def fake_run(scale="smoke", seed=0, progress=None):
+        def fake_run(scale="smoke", seed=0, workers=None, progress=None):
             calls["scale"] = scale
             calls["seed"] = seed
+            calls["workers"] = workers
             calls["progress"] = progress
             return _stub_result()
 
         run_cli("test driver", fake_run, default_seed=42)
         out = capsys.readouterr().out
         assert "stub title" in out
-        assert calls == {"scale": "smoke", "seed": 42, "progress": None}
+        assert calls == {
+            "scale": "smoke", "seed": 42, "workers": None, "progress": None,
+        }
 
     def test_progress_enabled_by_default(self, capsys, monkeypatch):
         monkeypatch.setattr(sys, "argv", ["prog"])
         seen = {}
 
-        def fake_run(scale="smoke", seed=0, progress=None):
+        def fake_run(scale="smoke", seed=0, workers=None, progress=None):
             seen["progress"] = progress
             if progress:
                 progress("tick")
@@ -59,7 +62,7 @@ class TestRunCli:
     def test_csv_flag(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
         monkeypatch.setattr(sys, "argv", ["prog", "--csv", "--quiet"])
-        run_cli("t", lambda scale="smoke", seed=0, progress=None: _stub_result(),
+        run_cli("t", lambda scale="smoke", **kw: _stub_result(),
                 default_seed=0)
         out = capsys.readouterr().out
         assert "csv written" in out
