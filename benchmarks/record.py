@@ -1,0 +1,187 @@
+"""Record evaluation-core micro-bench medians into ``BENCH_eval.json``.
+
+The committed ``BENCH_eval.json`` carries two sections:
+
+- ``baseline`` — medians recorded on the *pre-kernel* (pure nested-list)
+  implementation, kept frozen as the reference the speedup claims in
+  ``benchmarks/test_micro.py`` are measured against;
+- ``current`` — medians of the implementation as committed, refreshed
+  whenever the evaluation core changes (``python benchmarks/record.py``).
+
+``--check KEY`` re-measures one entry on this machine and fails (exit 1)
+if it is more than ``--max-ratio`` times slower than the committed
+``current`` median — the CI perf-smoke gate uses this with
+``sp_first_fit_n200``.  A generous ratio (default 2x) absorbs machine
+variance while still catching an accidental return to quadratic-per-move
+scratch evaluation, which costs ~5x or more.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py                  # refresh "current"
+    PYTHONPATH=src python benchmarks/record.py --section baseline
+    PYTHONPATH=src python benchmarks/record.py --check sp_first_fit_n200
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_eval.json"
+
+#: (key, graph size, repeats) for every mapper measured at both sizes.
+MAPPER_SPECS = [
+    ("single_node", 50, 5),
+    ("series_parallel", 50, 5),
+    ("sn_first_fit", 50, 5),
+    ("sp_first_fit", 50, 5),
+    ("single_node", 200, 3),
+    ("series_parallel", 200, 3),
+    ("sn_first_fit", 200, 3),
+    ("sp_first_fit", 200, 3),
+]
+
+
+def _evaluator(n_tasks: int):
+    from repro.evaluation import MappingEvaluator
+    from repro.graphs.generators import random_sp_graph
+    from repro.platform import paper_platform
+
+    g = random_sp_graph(n_tasks, np.random.default_rng(1234))
+    return MappingEvaluator(
+        g,
+        paper_platform(),
+        rng=np.random.default_rng(5),
+        n_random_schedules=20,
+    )
+
+
+def _median_time(fn, repeats: int) -> float:
+    fn()  # warm-up (table construction, caches)
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def _mapper_factory(key: str):
+    import repro.mappers as mappers
+
+    return getattr(mappers, key)
+
+
+def measure(key: str) -> float:
+    """Median wall-clock seconds for one named micro-bench."""
+    if key == "cost_model_eval_n50":
+        ev = _evaluator(50)
+        mapping = np.zeros(ev.n_tasks, dtype=np.int64)
+        return _median_time(lambda: ev.construction_makespan(mapping), 200)
+    if key == "suite_eval_n50":
+        ev = _evaluator(50)
+        mapping = np.zeros(ev.n_tasks, dtype=np.int64)
+        return _median_time(lambda: ev.reported_makespan(mapping), 20)
+    for name, size, repeats in MAPPER_SPECS:
+        if key == f"{name}_n{size}":
+            ev = _evaluator(size)
+            factory = _mapper_factory(name)
+
+            def run():
+                factory().map(ev, rng=np.random.default_rng(np.random.SeedSequence(42)))
+
+            return _median_time(run, repeats)
+    raise KeyError(f"unknown bench key {key!r}")
+
+
+def all_keys():
+    yield "cost_model_eval_n50"
+    yield "suite_eval_n50"
+    for name, size, _ in MAPPER_SPECS:
+        yield f"{name}_n{size}"
+
+
+def load() -> dict:
+    if BENCH_FILE.exists():
+        return json.loads(BENCH_FILE.read_text())
+    return {"schema": 1, "units": "seconds_median", "baseline": {}, "current": {}}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--section",
+        default="current",
+        choices=["current", "baseline"],
+        help="which section of BENCH_eval.json to (re)record",
+    )
+    parser.add_argument(
+        "--check",
+        metavar="KEY",
+        help="re-measure KEY and fail if slower than committed 'current'",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="allowed measured/committed slowdown ratio for --check",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="allow overwriting an existing 'baseline' section",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        data = load()
+        committed = data.get("current", {}).get("measures", {}).get(args.check)
+        if committed is None:
+            print(f"no committed 'current' median for {args.check!r}", file=sys.stderr)
+            return 2
+        measured = measure(args.check)
+        ratio = measured / committed
+        print(
+            f"{args.check}: measured {measured * 1e3:.2f} ms vs committed "
+            f"{committed * 1e3:.2f} ms (ratio {ratio:.2f}, limit {args.max_ratio:g})"
+        )
+        if ratio > args.max_ratio:
+            print("PERF REGRESSION: exceeded the allowed ratio", file=sys.stderr)
+            return 1
+        return 0
+
+    data = load()
+    if (
+        args.section == "baseline"
+        and data.get("baseline", {}).get("measures")
+        and not args.force
+    ):
+        print(
+            "refusing to overwrite the frozen pre-kernel 'baseline' section:"
+            " it was recorded on the original nested-list implementation and"
+            " cannot be regenerated (pass --force if you really mean it)",
+            file=sys.stderr,
+        )
+        return 2
+    measures = {}
+    for key in all_keys():
+        measures[key] = measure(key)
+        print(f"{key:>24s}: {measures[key] * 1e3:9.3f} ms")
+    data[args.section] = {
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "measures": measures,
+    }
+    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote section {args.section!r} to {BENCH_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

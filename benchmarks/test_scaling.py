@@ -25,7 +25,11 @@ def test_scaling_exponents(benchmark):
     exponents = scaling.fit_exponents(result)
     print("fitted exponents:", {k: round(v, 2) for k, v in exponents.items()})
     for name, alpha in exponents.items():
-        assert alpha < 3.3, f"{name} scales worse than the cubic worst case"
+        # Paper Sec. IV-B: quadratic in practice, cubic worst case.  With
+        # the kernel/delta evaluation core the constants shrank ~10-30x
+        # and the fitted exponents sit around 0.8-2.1 at smoke scale, so
+        # the bound can exclude the cubic regime outright.
+        assert alpha < 3.0, f"{name} scales worse than quadratic-with-slack"
     # FirstFit saves a constant-factor (and often asymptotic) amount of work
     series = {s.name: s for s in result.series()}
     assert (

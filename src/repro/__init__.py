@@ -13,7 +13,11 @@ Public API tour
 - :mod:`repro.sp` — series-parallel decomposition trees, recognition, and
   the paper's Algorithm 1 (decomposition forests for arbitrary DAGs);
 - :mod:`repro.platform` — CPU/GPU/FPGA platform model;
-- :mod:`repro.evaluation` — the linear-time model-based makespan evaluator;
+- :mod:`repro.evaluation` — the linear-time model-based makespan evaluator
+  on a flat-array kernel (compiled C when a system compiler is present,
+  pure Python otherwise — bit-identical either way), plus the incremental
+  :class:`~repro.evaluation.delta.DeltaEvaluator` that re-simulates only
+  the schedule suffix a candidate move can affect;
 - :mod:`repro.mappers` — SingleNode/SeriesParallel decomposition mappers
   (with FirstFit / gamma-threshold heuristics), HEFT, PEFT, NSGA-II and
   three MILP baselines;
@@ -47,7 +51,7 @@ True
 
 from . import evaluation, graphs, mappers, parallel, platform, runtime, sp
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "evaluation", "graphs", "mappers", "parallel", "platform", "runtime",

@@ -1,9 +1,12 @@
-"""Model-based evaluation: cost model, schedule suites, evaluator, traces."""
+"""Model-based evaluation: cost model, flat kernel, delta evaluation,
+schedule suites, evaluator, traces."""
 
 from .cache import CachedEvaluator
 from .costmodel import INFEASIBLE, CostModel
+from .delta import DeltaEvaluator
 from .energy import JOULES_PER_MB, EnergyModel, energy_joules
 from .evaluator import MappingEvaluator
+from .kernel import FlatModel, simulate_flat, simulate_span
 from .schedules import ScheduleSuite, bfs_schedule, random_topological_schedule
 from .trace import ScheduleTrace, TaskTrace, render_gantt, simulate_trace
 
@@ -11,6 +14,10 @@ __all__ = [
     "INFEASIBLE",
     "CachedEvaluator",
     "CostModel",
+    "DeltaEvaluator",
+    "FlatModel",
+    "simulate_flat",
+    "simulate_span",
     "MappingEvaluator",
     "JOULES_PER_MB",
     "EnergyModel",

@@ -1,0 +1,421 @@
+"""Optional compiled C version of the flat-array cost kernel.
+
+The list-scheduling recurrence is inherently sequential, so the pure
+Python kernel (:mod:`repro.evaluation.kernel`) is bound by interpreter
+dispatch (~1-2 us per schedule position).  This module compiles the very
+same loop — statement for statement — to native code with the system C
+compiler and loads it via :mod:`ctypes`:
+
+- no third-party dependency: only ``cc``/``gcc``/``clang`` if present;
+- compiled once per source version into a per-user cache directory
+  (atomic rename, safe under concurrent workers);
+- strict IEEE semantics: ``-ffp-contract=off`` and no fast-math, so
+  every double operation matches CPython float arithmetic bit for bit
+  (pinned against ``CostModel._simulate_reference`` by
+  ``tests/test_kernel_delta.py``);
+- anything failing (no compiler, sandboxed filesystem, load error)
+  degrades silently to the pure Python kernel — the C path is an
+  optimization, never a requirement.
+
+Set ``REPRO_PURE_PYTHON=1`` to force the Python kernel (used by the
+test-suite to cover both paths).
+
+Exposed entry points (see the C source below for contracts):
+
+- ``repro_span``      — full scratch simulation into caller buffers;
+- ``repro_rebuild``   — scratch simulation recording per-position
+  prefix snapshots (slot availability + running makespan) for the
+  incremental evaluator;
+- ``repro_eval_move`` — suffix-only re-simulation of one candidate
+  move against the snapshotted base, with bound-abort.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+from typing import Optional
+
+__all__ = ["CKernel", "ReproCtx", "ReproDelta", "load_ckernel"]
+
+_C_SOURCE = r"""
+#include <math.h>
+#include <stddef.h>
+#include <stdint.h>
+
+typedef struct {
+    int64_t n, m, n_slots;
+    const double *exec_t;     /* n*m   */
+    const double *fill_t;     /* n*m   */
+    const double *initial_t;  /* n*m   */
+    const double *final_t;    /* n*m   */
+    const int64_t *pred_ptr;  /* n+1   */
+    const int64_t *pred_src;  /* E     */
+    const double *pred_trans; /* E*m*m */
+    const uint8_t *streaming; /* m     */
+    const uint8_t *serializes;/* m     */
+    const int64_t *slot_ptr;  /* m+1   */
+} ReproCtx;
+
+typedef struct {
+    int64_t *mapping;          /* n, mutated and restored by eval_move */
+    const int64_t *order;      /* n */
+    const int64_t *pos;        /* n: task -> schedule position */
+    const double *base_start;  /* n */
+    const double *base_finish; /* n */
+    double *ts;                /* n workspace (suffix values) */
+    double *tf;                /* n workspace */
+    const double *snap_avail;  /* n * n_slots prefix snapshots */
+    const double *pre_ms;      /* n prefix-max ends */
+    double *avail_ws;          /* n_slots workspace */
+    int64_t *old_ws;           /* >= max subgraph size workspace */
+} ReproDelta;
+
+/* One loop body for every path; mirrors kernel.simulate_span statement
+ * for statement (same op order => bit-identical doubles).  When pos is
+ * NULL every predecessor reads ts/tf; otherwise positions before k read
+ * the base arrays (incremental suffix mode, no restore needed). */
+static double span_core(const ReproCtx *c, const int64_t *mapping,
+                        const int64_t *order, const int64_t *pos, int64_t k,
+                        const double *base_start, const double *base_finish,
+                        double *ts, double *tf, double *avail,
+                        double makespan, int contention, double bound)
+{
+    const int64_t n = c->n, m = c->m;
+    const int use_base = (pos != NULL);
+    for (int64_t j = k; j < n; j++) {
+        const int64_t i = order[j];
+        const int64_t d = mapping[i];
+        const int64_t row = i * m;
+        double ready = c->initial_t[row + d];
+        double drain = 0.0;
+        const int64_t e1 = c->pred_ptr[i + 1];
+        for (int64_t e = c->pred_ptr[i]; e < e1; e++) {
+            const int64_t p = c->pred_src[e];
+            const int64_t dp = mapping[p];
+            const int base_p = use_base && pos[p] < k;
+            double r;
+            if (dp == d && c->streaming[d]) {
+                const double sp = base_p ? base_start[p] : ts[p];
+                const double fp = base_p ? base_finish[p] : tf[p];
+                r = sp + c->fill_t[p * m + dp];
+                if (fp > drain) drain = fp;
+            } else {
+                const double fp = base_p ? base_finish[p] : tf[p];
+                r = fp + c->pred_trans[e * m * m + dp * m + d];
+            }
+            if (r > ready) ready = r;
+        }
+        double st = ready;
+        int64_t slot = -1;
+        if (contention && c->serializes[d]) {
+            const int64_t s0 = c->slot_ptr[d], s1 = c->slot_ptr[d + 1];
+            slot = s0;
+            double earliest = avail[s0];
+            for (int64_t q = s0 + 1; q < s1; q++) {
+                if (avail[q] < earliest) { earliest = avail[q]; slot = q; }
+            }
+            if (earliest > ready) st = earliest;
+        }
+        double fin = st + c->exec_t[row + d];
+        if (drain > fin) fin = drain;
+        ts[i] = st;
+        tf[i] = fin;
+        if (slot >= 0) avail[slot] = fin;
+        const double end = fin + c->final_t[row + d];
+        if (end > makespan) {
+            makespan = end;
+            if (makespan >= bound) return INFINITY;
+        }
+    }
+    return makespan;
+}
+
+double repro_span(const ReproCtx *c, const int64_t *mapping,
+                  const int64_t *order, double *start, double *finish,
+                  double *avail, int contention)
+{
+    for (int64_t i = 0; i < c->n; i++) { start[i] = 0.0; finish[i] = 0.0; }
+    for (int64_t s = 0; s < c->n_slots; s++) avail[s] = 0.0;
+    return span_core(c, mapping, order, (const int64_t *)0, 0,
+                     (const double *)0, (const double *)0,
+                     start, finish, avail, 0.0, contention, INFINITY);
+}
+
+/* Scratch simulation of the delta base that additionally records, for
+ * every position, the slot availability *before* it and the running
+ * prefix makespan.  Duplicates span_core's body plus the two recording
+ * statements (kept adjacent so the exactness contract stays auditable). */
+double repro_rebuild(const ReproCtx *c, const ReproDelta *d,
+                     double *start, double *finish,
+                     double *snap_avail, double *pre_ms, double *avail)
+{
+    const int64_t n = c->n, m = c->m, n_slots = c->n_slots;
+    const int64_t *mapping = d->mapping;
+    const int64_t *order = d->order;
+    for (int64_t i = 0; i < n; i++) { start[i] = 0.0; finish[i] = 0.0; }
+    for (int64_t s = 0; s < n_slots; s++) avail[s] = 0.0;
+    double makespan = 0.0;
+    for (int64_t j = 0; j < n; j++) {
+        for (int64_t s = 0; s < n_slots; s++)
+            snap_avail[j * n_slots + s] = avail[s];
+        pre_ms[j] = makespan;
+        const int64_t i = order[j];
+        const int64_t d_ = mapping[i];
+        const int64_t row = i * m;
+        double ready = c->initial_t[row + d_];
+        double drain = 0.0;
+        const int64_t e1 = c->pred_ptr[i + 1];
+        for (int64_t e = c->pred_ptr[i]; e < e1; e++) {
+            const int64_t p = c->pred_src[e];
+            const int64_t dp = mapping[p];
+            double r;
+            if (dp == d_ && c->streaming[d_]) {
+                r = start[p] + c->fill_t[p * m + dp];
+                if (finish[p] > drain) drain = finish[p];
+            } else {
+                r = finish[p] + c->pred_trans[e * m * m + dp * m + d_];
+            }
+            if (r > ready) ready = r;
+        }
+        double st = ready;
+        int64_t slot = -1;
+        if (c->serializes[d_]) {
+            const int64_t s0 = c->slot_ptr[d_], s1 = c->slot_ptr[d_ + 1];
+            slot = s0;
+            double earliest = avail[s0];
+            for (int64_t q = s0 + 1; q < s1; q++) {
+                if (avail[q] < earliest) { earliest = avail[q]; slot = q; }
+            }
+            if (earliest > ready) st = earliest;
+        }
+        double fin = st + c->exec_t[row + d_];
+        if (drain > fin) fin = drain;
+        start[i] = st;
+        finish[i] = fin;
+        if (slot >= 0) avail[slot] = fin;
+        const double end = fin + c->final_t[row + d_];
+        if (end > makespan) makespan = end;
+    }
+    return makespan;
+}
+
+double repro_eval_move(const ReproCtx *c, const ReproDelta *d,
+                       const int64_t *sub, int64_t sub_len, int64_t device,
+                       int64_t k, double bound)
+{
+    int64_t *mp = d->mapping;
+    int64_t *old = d->old_ws;
+    for (int64_t s = 0; s < sub_len; s++) {
+        old[s] = mp[sub[s]];
+        mp[sub[s]] = device;
+    }
+    const double *snap = d->snap_avail + k * c->n_slots;
+    for (int64_t s = 0; s < c->n_slots; s++) d->avail_ws[s] = snap[s];
+    const double ms = span_core(c, mp, d->order, d->pos, k,
+                                d->base_start, d->base_finish, d->ts, d->tf,
+                                d->avail_ws, d->pre_ms[k], 1, bound);
+    for (int64_t s = 0; s < sub_len; s++) mp[sub[s]] = old[s];
+    return ms;
+}
+"""
+
+_P = ctypes.POINTER
+_f64 = _P(ctypes.c_double)
+_i64 = _P(ctypes.c_int64)
+_u8 = _P(ctypes.c_uint8)
+
+
+class ReproCtx(ctypes.Structure):
+    _fields_ = [
+        ("n", ctypes.c_int64),
+        ("m", ctypes.c_int64),
+        ("n_slots", ctypes.c_int64),
+        ("exec_t", _f64),
+        ("fill_t", _f64),
+        ("initial_t", _f64),
+        ("final_t", _f64),
+        ("pred_ptr", _i64),
+        ("pred_src", _i64),
+        ("pred_trans", _f64),
+        ("streaming", _u8),
+        ("serializes", _u8),
+        ("slot_ptr", _i64),
+    ]
+
+
+class ReproDelta(ctypes.Structure):
+    _fields_ = [
+        ("mapping", _i64),
+        ("order", _i64),
+        ("pos", _i64),
+        ("base_start", _f64),
+        ("base_finish", _f64),
+        ("ts", _f64),
+        ("tf", _f64),
+        ("snap_avail", _f64),
+        ("pre_ms", _f64),
+        ("avail_ws", _f64),
+        ("old_ws", _i64),
+    ]
+
+
+def _ptr(arr, typ):
+    """Raw data pointer of a C-contiguous numpy array as a ctypes pointer."""
+    return ctypes.cast(arr.ctypes.data, typ)
+
+
+class CKernel:
+    """Loaded C kernel: typed entry points over the shared library."""
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self.lib = lib
+        # array arguments are declared void* so callers can pass the raw
+        # integer from ndarray.ctypes.data without a per-call cast
+        vp = ctypes.c_void_p
+        lib.repro_span.restype = ctypes.c_double
+        lib.repro_span.argtypes = [vp, vp, vp, vp, vp, vp, ctypes.c_int]
+        lib.repro_rebuild.restype = ctypes.c_double
+        lib.repro_rebuild.argtypes = [vp, vp, vp, vp, vp, vp, vp]
+        lib.repro_eval_move.restype = ctypes.c_double
+        lib.repro_eval_move.argtypes = [
+            vp,
+            vp,
+            vp,
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.c_double,
+        ]
+
+    # ------------------------------------------------------------------
+    def make_delta(
+        self,
+        mapping,
+        order,
+        pos,
+        base_start,
+        base_finish,
+        ts,
+        tf,
+        snap_avail,
+        pre_ms,
+        avail_ws,
+        old_ws,
+    ) -> ReproDelta:
+        """Build a ``ReproDelta`` over preallocated numpy buffers.
+
+        The buffers must stay alive and must never be reallocated (refill
+        in place) — the struct holds raw pointers into them.
+        """
+        return ReproDelta(
+            mapping=_ptr(mapping, _i64),
+            order=_ptr(order, _i64),
+            pos=_ptr(pos, _i64),
+            base_start=_ptr(base_start, _f64),
+            base_finish=_ptr(base_finish, _f64),
+            ts=_ptr(ts, _f64),
+            tf=_ptr(tf, _f64),
+            snap_avail=_ptr(snap_avail, _f64),
+            pre_ms=_ptr(pre_ms, _f64),
+            avail_ws=_ptr(avail_ws, _f64),
+            old_ws=_ptr(old_ws, _i64),
+        )
+
+    # ------------------------------------------------------------------
+    def make_ctx(self, flat) -> ReproCtx:
+        """Build a ``ReproCtx`` over a FlatModel's arrays.
+
+        The caller must keep ``flat`` (and the returned struct) alive as
+        long as the context is used — the struct holds raw pointers into
+        the FlatModel's numpy buffers.
+        """
+        return ReproCtx(
+            n=flat.n,
+            m=flat.m,
+            n_slots=flat.n_slots,
+            exec_t=_ptr(flat.exec, _f64),
+            fill_t=_ptr(flat.fill, _f64),
+            initial_t=_ptr(flat.initial, _f64),
+            final_t=_ptr(flat.final, _f64),
+            pred_ptr=_ptr(flat.pred_ptr, _i64),
+            pred_src=_ptr(flat.pred_src, _i64),
+            pred_trans=_ptr(flat.pred_trans, _f64),
+            streaming=_ptr(flat.streaming_u8, _u8),
+            serializes=_ptr(flat.serializes_u8, _u8),
+            slot_ptr=_ptr(flat.slot_ptr, _i64),
+        )
+
+
+def _cache_dir() -> str:
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro-kernel")
+
+
+def _compile(src_hash: str) -> Optional[str]:
+    """Compile the kernel into the cache dir; return the .so path or None."""
+    for cc in ("cc", "gcc", "clang"):
+        try:
+            cache = _cache_dir()
+            os.makedirs(cache, exist_ok=True)
+            so_path = os.path.join(cache, f"ckernel-{src_hash}.so")
+            if os.path.exists(so_path):
+                return so_path
+            with tempfile.TemporaryDirectory() as tmp:
+                c_path = os.path.join(tmp, "kernel.c")
+                with open(c_path, "w") as fh:
+                    fh.write(_C_SOURCE)
+                tmp_so = os.path.join(tmp, "kernel.so")
+                subprocess.run(
+                    [
+                        cc,
+                        "-O2",
+                        "-fPIC",
+                        "-shared",
+                        # bit-exactness vs CPython floats: no contraction,
+                        # no fast-math (never passed), strict IEEE doubles
+                        "-ffp-contract=off",
+                        "-o",
+                        tmp_so,
+                        c_path,
+                    ],
+                    check=True,
+                    capture_output=True,
+                    timeout=120,
+                )
+                os.replace(tmp_so, so_path)  # atomic under concurrency
+            return so_path
+        except Exception:  # noqa: BLE001 - any failure => next cc / fallback
+            continue
+    return None
+
+
+_LOADED: Optional[CKernel] = None
+_TRIED = False
+
+
+def load_ckernel() -> Optional[CKernel]:
+    """The process-wide kernel, compiled/loaded on first use (or None)."""
+    global _LOADED, _TRIED
+    if _TRIED:
+        return _LOADED
+    _TRIED = True
+    if os.environ.get("REPRO_PURE_PYTHON"):
+        return None
+    src_hash = hashlib.sha256(
+        (_C_SOURCE + sys.version.split()[0]).encode()
+    ).hexdigest()[:16]
+    so_path = _compile(src_hash)
+    if so_path is None:
+        return None
+    try:
+        _LOADED = CKernel(ctypes.CDLL(so_path))
+    except Exception:  # noqa: BLE001
+        _LOADED = None
+    return _LOADED

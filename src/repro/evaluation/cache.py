@@ -75,7 +75,18 @@ class CachedEvaluator:
 
     # -- delegation --------------------------------------------------------
     def __getattr__(self, name):
-        return getattr(self._inner, name)
+        # During unpickling, __getattr__ can fire before __dict__ is
+        # restored (pickle probes e.g. __setstate__).  Delegating those
+        # probes through self._inner would recurse forever — look _inner
+        # up via __dict__ and fail cleanly for dunders and _inner itself,
+        # so cached evaluators survive the repro.parallel worker round
+        # trip.
+        if name == "_inner" or (name.startswith("__") and name.endswith("__")):
+            raise AttributeError(name)
+        inner = self.__dict__.get("_inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
 
     @property
     def graph(self):

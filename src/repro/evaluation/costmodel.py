@@ -26,10 +26,38 @@ function as a list-scheduling simulation over a fixed priority order:
 All tables (execution times, per-edge transfer costs for every device pair)
 are precomputed once per graph, so one evaluation is a tight O(V + E) loop —
 the hot path of the whole library (hpc guide: optimize the bottleneck only).
+
+Evaluation architecture (kernel + delta):
+
+- the tables are flattened once into a :class:`repro.evaluation.kernel.FlatModel`
+  (CSR predecessor offsets, per-edge ``m*m`` transfer rows, contiguous
+  ``float64`` exec/fill/initial/final) and :meth:`simulate` delegates to
+  the shared :func:`repro.evaluation.kernel.simulate_span` loop — every
+  caller (construction makespan, the 101-schedule reported suite, the
+  GA/tabu/annealing fitness paths) goes through the same kernel;
+- the greedy decomposition mappers additionally use
+  :class:`repro.evaluation.delta.DeltaEvaluator`, which keeps per-position
+  prefix snapshots of ``(start, finish, slot availability, prefix-max
+  end)`` under the fixed BFS schedule and re-simulates **only the suffix**
+  from the first schedule position a move touches — O(affected suffix)
+  instead of O(V + E) per candidate move;
+- exactness contract: kernel and delta evaluation perform bit-for-bit the
+  same float64 operations in the same order as the original nested-list
+  walk (kept as :meth:`_simulate_reference` and pinned by
+  ``tests/test_kernel_delta.py``) — they are optimizations, never
+  approximations.
+
+Bookkeeping: ``n_simulations`` counts full scratch simulations (one per
+:meth:`simulate` call, as before); ``n_delta_evaluations`` counts
+incremental suffix re-evaluations and ``delta_work`` accumulates their
+cost in full-evaluation equivalents (suffix length / n), so
+``n_simulations + delta_work`` is the model-evaluation effort in units of
+one O(V + E) pass.
 """
 
 from __future__ import annotations
 
+import ctypes
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,6 +65,8 @@ import numpy as np
 from ..graphs.taskgraph import DEFAULT_DATA_MB, TaskGraph
 from ..platform.platform import Platform
 from ..platform.taskmodel import exec_time_table
+from ._ckernel import load_ckernel
+from .kernel import FlatModel, simulate_flat
 
 __all__ = ["CostModel", "INFEASIBLE"]
 
@@ -45,9 +75,20 @@ INFEASIBLE = float("inf")
 
 
 class CostModel:
-    """Precomputed cost tables and the makespan simulation for one graph."""
+    """Precomputed cost tables and the makespan simulation for one graph.
 
-    def __init__(self, graph: TaskGraph, platform: Platform) -> None:
+    ``use_ckernel`` selects the compiled C kernel explicitly (``True`` /
+    ``False``); the default ``None`` uses it when available (see
+    :mod:`repro.evaluation._ckernel`).  Results are identical either way.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        platform: Platform,
+        *,
+        use_ckernel: Optional[bool] = None,
+    ) -> None:
         graph.validate()
         self.graph = graph
         self.platform = platform
@@ -113,8 +154,64 @@ class CostModel:
         # --- default schedule (breadth-first) ----------------------------
         self.bfs_order: List[int] = [self.index[t] for t in graph.bfs_order()]
 
-        #: number of makespan simulations performed (for the harness stats)
+        # --- flat-array kernel view (see module docstring) ---------------
+        self.flat = FlatModel(
+            exec_table=self.exec_table,
+            fill_table=np.asarray(self._fill, dtype=np.float64),
+            initial_table=np.asarray(self._initial, dtype=np.float64),
+            final_table=np.asarray(self._final, dtype=np.float64),
+            pred_lists=self._pred,
+            streaming=self._streaming_dev,
+            serializes=self._serializes,
+            slots=self._slots,
+        )
+
+        # --- compiled kernel (optional, bit-identical) -------------------
+        self._use_ckernel = use_ckernel
+        self._init_ckernel(use_ckernel)
+        self.bfs_order_np = np.asarray(self.bfs_order, dtype=np.int64)
+
+        #: number of full makespan simulations performed (harness stats)
         self.n_simulations = 0
+        #: number of incremental suffix re-evaluations (delta evaluator)
+        self.n_delta_evaluations = 0
+        #: delta effort in full-evaluation equivalents (suffix length / n)
+        self.delta_work = 0.0
+
+    # ------------------------------------------------------------------
+    def _init_ckernel(self, use_ckernel: Optional[bool]) -> None:
+        self._ck = None
+        self._ck_ctx = None
+        if use_ckernel is False:
+            return
+        ck = load_ckernel()
+        if ck is None:
+            if use_ckernel is True:
+                raise RuntimeError("C kernel requested but unavailable")
+            return
+        self._ck = ck
+        self._ck_ctx = ck.make_ctx(self.flat)
+        self._ck_ctx_p = ctypes.byref(self._ck_ctx)
+        self._ws_start = np.empty(self.n)
+        self._ws_finish = np.empty(self.n)
+        self._ws_avail = np.empty(max(1, self.flat.n_slots))
+
+    # -- pickling: ctypes handles cannot cross process boundaries --------
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        for key in ("_ck", "_ck_ctx", "_ck_ctx_p", "_ws_start",
+                    "_ws_finish", "_ws_avail"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # reload/recompile lazily in the receiving process (e.g. a
+        # repro.parallel worker), honouring the constructor's explicit
+        # use_ckernel choice; auto falls back to the Python kernel when
+        # the receiving host cannot build the C kernel
+        pref = state.get("_use_ckernel")
+        self._init_ckernel(None if pref is True else pref)
 
     # ------------------------------------------------------------------
     def _sink_return_mb(self, t: int) -> float:
@@ -153,10 +250,58 @@ class CostModel:
         :data:`INFEASIBLE` if an area budget is violated.  With
         ``contention=False`` the device-serialization constraint is dropped
         (used for the critical-path lower bound).
+
+        Delegates to the flat-array kernel
+        (:func:`repro.evaluation.kernel.simulate_span`); results are
+        bit-identical to :meth:`_simulate_reference`.
         """
         if check_feasibility and not self.is_feasible(mapping):
             return INFEASIBLE
         self.n_simulations += 1
+        if self._ck is not None:
+            if isinstance(mapping, np.ndarray) and mapping.dtype == np.int64:
+                map_np = np.ascontiguousarray(mapping)
+            else:
+                map_np = np.ascontiguousarray(mapping, dtype=np.int64)
+            if order is None:
+                order_np = self.bfs_order_np
+            elif isinstance(order, np.ndarray) and order.dtype == np.int64:
+                order_np = np.ascontiguousarray(order)
+            else:
+                order_np = np.ascontiguousarray(order, dtype=np.int64)
+            return self._ck.lib.repro_span(
+                self._ck_ctx_p,
+                map_np.ctypes.data,
+                order_np.ctypes.data,
+                self._ws_start.ctypes.data,
+                self._ws_finish.ctypes.data,
+                self._ws_avail.ctypes.data,
+                1 if contention else 0,
+            )
+        if order is None:
+            order = self.bfs_order
+        if isinstance(mapping, np.ndarray):
+            mapping = mapping.tolist()
+        else:
+            mapping = list(mapping)
+        return simulate_flat(self.flat, mapping, order, contention=contention)
+
+    def _simulate_reference(
+        self,
+        mapping: Sequence[int],
+        order: Optional[Sequence[int]] = None,
+        *,
+        check_feasibility: bool = True,
+        contention: bool = True,
+    ) -> float:
+        """The original nested-list walk, kept as the executable spec.
+
+        The kernel (:meth:`simulate`) and the incremental delta evaluator
+        must reproduce this bit-for-bit (``tests/test_kernel_delta.py``);
+        it is not used on any hot path.  Does not touch the counters.
+        """
+        if check_feasibility and not self.is_feasible(mapping):
+            return INFEASIBLE
         if order is None:
             order = self.bfs_order
         mapping = list(mapping)

@@ -1,0 +1,486 @@
+"""Incremental (delta) makespan evaluation for greedy move search.
+
+With the schedule order fixed (the construction BFS order), remapping a
+candidate subgraph ``S`` can only change simulation state from the first
+schedule position of ``S`` onward: every task scheduled earlier keeps its
+start/finish, and the device slot-availability state at that position is
+unchanged.  :class:`DeltaEvaluator` therefore keeps, for the current
+*base* mapping, per-position prefix snapshots of
+
+- ``start``/``finish`` of every task (shared arrays — positions before
+  the suffix are simply read as-is),
+- the flat slot-availability vector *before* each position,
+- the running prefix-max task end (the makespan over the prefix),
+
+and :meth:`evaluate_move` re-simulates **only the suffix** from the first
+affected position, sharing the literal loop body of the scratch kernel
+(:func:`repro.evaluation.kernel.simulate_span`).  The per-move cost drops
+from O(V + E) to O(affected suffix) — and the returned makespan is
+bit-identical to a scratch ``CostModel.simulate`` of the moved mapping
+(pinned by ``tests/test_kernel_delta.py``): delta evaluation is an
+optimization, never an approximation.
+
+Feasibility is likewise incremental: per-device area sums are maintained
+for the base mapping and a move only applies its own delta.  Because the
+scratch check sums areas in a different floating-point order, a decision
+falling within a tiny band of the tolerance threshold is re-derived from
+an exact scratch sum, so the feasibility *decision* always matches
+``CostModel.is_feasible`` exactly.
+
+Bookkeeping: every suffix re-simulation increments
+``model.n_delta_evaluations`` and adds ``suffix_length / n`` to
+``model.delta_work`` (full-evaluation equivalents); base rebuilds are
+full simulations and count toward ``model.n_simulations``.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sp.subgraphs import schedule_span
+from .costmodel import INFEASIBLE, CostModel
+from .kernel import INF, simulate_batch, simulate_span
+
+__all__ = ["Candidate", "DeltaEvaluator"]
+
+
+class Candidate(NamedTuple):
+    """A candidate subgraph prepared for fast repeated move evaluation."""
+
+    members: List[int]     #: task indices
+    arr: np.ndarray        #: the same indices as an int64 array (C kernel)
+    ptr: int               #: cached raw data pointer of ``arr``
+    first_pos: int         #: first schedule position the candidate touches
+    area: float            #: summed task area (incremental feasibility)
+
+#: Width of the guard band around the area-tolerance threshold within
+#: which the incremental sum falls back to an exact scratch recount.
+#: Incremental vs scratch float error is bounded by a few n*ulp —
+#: many orders of magnitude below this — so outside the band both sums
+#: are on the same side of the threshold.
+_AREA_BAND = 1e-6
+
+#: Below this many lanes a vectorized batch loses to scalar suffix evals:
+#: the batch kernel pays ~25 us of numpy call overhead per schedule
+#: position regardless of width, vs ~2 us per position per lane for the
+#: scalar loop — break-even sits around 90-100 lanes.
+_BATCH_MIN = 96
+
+#: Lanes per vectorized batch.  Chunks are cut from moves sorted by
+#: first affected position, so each chunk starts at its first lane's
+#: position — grouping moves that share a prefix keeps the simulated
+#: span short while the batch stays wide enough to amortize numpy calls.
+_BATCH_CHUNK = 256
+
+
+class DeltaEvaluator:
+    """Suffix-only move evaluation against a mutable base mapping.
+
+    Usage::
+
+        delta = DeltaEvaluator(model)
+        current = delta.reset(mapping)          # full sim + snapshots
+        sub, first, area = delta.candidate(np.array([3, 4]))
+        ms = delta.evaluate_move(sub, device, first, area)
+        current = delta.apply_move(sub, device)  # commit + rebuild
+
+    ``evaluate_move`` accepts a ``bound``: the suffix simulation aborts
+    (returning ``inf``) once the running makespan reaches it.  Since the
+    makespan is a running max, the exact value could only be >= bound,
+    so callers that only *compare* against the bound (the basic greedy
+    scan) lose nothing — callers that need exact values (the gamma
+    heuristic's expectations) simply pass no bound.
+    """
+
+    def __init__(self, model: CostModel, order: Optional[Sequence[int]] = None) -> None:
+        self.model = model
+        self.flat = model.flat
+        self.n = model.n
+        self.order: List[int] = [int(i) for i in (order if order is not None else model.bfs_order)]
+        if len(self.order) != self.n:
+            raise ValueError("order must schedule every task exactly once")
+        pos = [0] * self.n
+        for j, i in enumerate(self.order):
+            pos[i] = j
+        self.pos: List[int] = pos
+
+        self._area: List[float] = model._area.tolist()
+        self._area_devs: List[int] = sorted(model._area_limits)
+        self._area_limits: List[float] = [
+            model._area_limits[d] for d in self._area_devs
+        ]
+
+        n = self.n
+        self._map: List[int] = []
+        self._usage: List[float] = []
+        self._start: List[float] = [0.0] * n
+        self._finish: List[float] = [0.0] * n
+        self._tstart: List[float] = [0.0] * n
+        self._tfinish: List[float] = [0.0] * n
+        self._snap_avail: List[List[float]] = []
+        self._pre_ms: List[float] = []
+        self.base_makespan: float = INF
+
+        # preallocated numpy state — refilled in place on every rebuild,
+        # never reallocated (the C kernel keeps raw pointers into them)
+        n_slots = self.flat.n_slots
+        self._np_map = np.zeros(n, dtype=np.int64)
+        self._order_np = np.asarray(self.order, dtype=np.int64)
+        self._pos_np = np.asarray(pos, dtype=np.int64)
+        self._start_np = np.zeros(n)
+        self._finish_np = np.zeros(n)
+        self._snap_np = np.zeros((n, n_slots))
+        self._pre_ms_np = np.zeros(n)
+        self._ck = model._ck
+        if self._ck is not None:
+            import ctypes
+
+            self._ts_ws = np.empty(n)
+            self._tf_ws = np.empty(n)
+            self._avail_ws = np.empty(max(1, n_slots))
+            self._old_ws = np.empty(n, dtype=np.int64)
+            self._dctx = self._ck.make_delta(
+                self._np_map,
+                self._order_np,
+                self._pos_np,
+                self._start_np,
+                self._finish_np,
+                self._ts_ws,
+                self._tf_ws,
+                self._snap_np,
+                self._pre_ms_np,
+                self._avail_ws,
+                self._old_ws,
+            )
+            self._dctx_p = ctypes.byref(self._dctx)
+            self._ctx_p = model._ck_ctx_p
+            self._eval_move_c = self._ck.lib.repro_eval_move
+
+    # ------------------------------------------------------------------
+    def candidate(self, sub: Sequence[int]) -> Candidate:
+        """Prepare a candidate subgraph for repeated move evaluation.
+
+        Done once per candidate and reused for every device and every
+        round — the per-move work stays proportional to the suffix.  The
+        cached data pointer is what the C kernel indexes with (computing
+        it per move would cost more than the native suffix simulation).
+        """
+        if isinstance(sub, np.ndarray) and sub.dtype == np.int64:
+            sub_np = np.ascontiguousarray(sub)
+            sub_list = sub_np.tolist()
+        else:
+            sub_list = [int(t) for t in sub]
+            sub_np = np.asarray(sub_list, dtype=np.int64)
+        first, _last = schedule_span(sub_list, self.pos)
+        area = self._area
+        return Candidate(
+            sub_list,
+            sub_np,
+            sub_np.ctypes.data,
+            first,
+            sum(area[t] for t in sub_list),
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self, mapping: Sequence[int]) -> float:
+        """Set the base mapping (must be feasible) and rebuild snapshots."""
+        np_map = np.asarray(mapping, dtype=np.int64)
+        if not self.model.is_feasible(np_map):
+            raise ValueError("delta evaluation needs a feasible base mapping")
+        np.copyto(self._np_map, np_map)
+        self._map = self._np_map.tolist()
+        usage = self.model.area_usage(self._np_map)
+        self._usage = [usage[d] for d in self._area_devs]
+        return self._rebuild()
+
+    def _rebuild(self) -> float:
+        """Full base simulation recording per-position prefix snapshots.
+
+        This is :func:`repro.evaluation.kernel.simulate_span` from
+        position 0 with two recording statements added per position —
+        the float operations must stay statement-for-statement identical
+        to the kernel (exactness contract).  With the C kernel loaded the
+        same recording simulation runs natively (``repro_rebuild``).
+        """
+        self.model.n_simulations += 1
+        if self._ck is not None:
+            self.base_makespan = self._ck.lib.repro_rebuild(
+                self._ctx_p,
+                self._dctx_p,
+                self._start_np.ctypes.data,
+                self._finish_np.ctypes.data,
+                self._snap_np.ctypes.data,
+                self._pre_ms_np.ctypes.data,
+                self._avail_ws.ctypes.data,
+            )
+            return self.base_makespan
+        flat = self.flat
+        order = self.order
+        mapping = self._map
+        m = flat.m
+        exec_l = flat.exec_l
+        fill_l = flat.fill_l
+        initial_l = flat.initial_l
+        final_l = flat.final_l
+        pred_l = flat.pred_l
+        streaming = flat.streaming_l
+        serializes = flat.serializes_l
+        slot_ptr = flat.slot_ptr_l
+
+        start = self._start
+        finish = self._finish
+        avail = flat.fresh_avail()
+        snap_avail: List[List[float]] = []
+        pre_ms: List[float] = []
+        makespan = 0.0
+
+        for j in range(self.n):
+            snap_avail.append(avail.copy())
+            pre_ms.append(makespan)
+            i = order[j]
+            d = mapping[i]
+            row = i * m
+            ready = initial_l[row + d]
+            drain = 0.0
+            for p, trans in pred_l[i]:
+                dp = mapping[p]
+                if dp == d and streaming[d]:
+                    r = start[p] + fill_l[p * m + dp]
+                    fp = finish[p]
+                    if fp > drain:
+                        drain = fp
+                else:
+                    r = finish[p] + trans[dp * m + d]
+                if r > ready:
+                    ready = r
+            st = ready
+            slot = -1
+            if serializes[d]:
+                s0 = slot_ptr[d]
+                s1 = slot_ptr[d + 1]
+                slot = s0
+                earliest = avail[s0]
+                for q in range(s0 + 1, s1):
+                    v = avail[q]
+                    if v < earliest:
+                        earliest = v
+                        slot = q
+                if earliest > ready:
+                    st = earliest
+            fin = st + exec_l[row + d]
+            if drain > fin:
+                fin = drain
+            start[i] = st
+            finish[i] = fin
+            if slot >= 0:
+                avail[slot] = fin
+            end = fin + final_l[row + d]
+            if end > makespan:
+                makespan = end
+
+        self._snap_avail = snap_avail
+        self._pre_ms = pre_ms
+        self._tstart = start.copy()
+        self._tfinish = finish.copy()
+        # numpy mirrors for the vectorized batch evaluator (refilled in
+        # place; see __init__)
+        np.copyto(self._start_np, start)
+        np.copyto(self._finish_np, finish)
+        if self.flat.n_slots:
+            np.copyto(self._snap_np, snap_avail)
+        np.copyto(self._pre_ms_np, pre_ms)
+        self.base_makespan = makespan
+        return makespan
+
+    # ------------------------------------------------------------------
+    def _move_feasible(self, sub_list: List[int], device: int, sub_area: float) -> bool:
+        """Incremental area check, exact-recount fallback near the threshold.
+
+        Matches ``CostModel.is_feasible`` of the moved mapping exactly:
+        the base is feasible, so only devices whose usage changes are
+        re-checked (gaining devices can violate; losing devices are
+        re-checked too in case of zero/degenerate areas).
+        """
+        mp = self._map
+        area = self._area
+        for ai, a in enumerate(self._area_devs):
+            removed = 0.0
+            for t in sub_list:
+                if mp[t] == a:
+                    removed += area[t]
+            added = sub_area if device == a else 0.0
+            if removed == 0.0 and added == 0.0:
+                continue
+            new_usage = self._usage[ai] - removed + added
+            limit = self._area_limits[ai] + 1e-9
+            if abs(new_usage - limit) <= _AREA_BAND * max(1.0, abs(limit)):
+                new_usage = self._exact_usage(sub_list, device, a)
+            if new_usage > limit:
+                return False
+        return True
+
+    def _exact_usage(self, sub_list: List[int], device: int, a: int) -> float:
+        """Scratch (same summation order as ``area_usage``) trial usage."""
+        trial = self._np_map.copy()
+        trial[sub_list] = device
+        return float(self.model._area[trial == a].sum())
+
+    # ------------------------------------------------------------------
+    def evaluate_move(
+        self, cand: Candidate, device: int, *, bound: float = INF
+    ) -> float:
+        """Makespan after remapping the candidate to ``device``.
+
+        Bit-identical to ``model.simulate`` of the moved mapping (or
+        :data:`INFEASIBLE`); ``inf`` when the running makespan reaches
+        ``bound`` first.  The base mapping and snapshots are untouched.
+        """
+        sub_list = cand.members
+        first_pos = cand.first_pos
+        if not self._move_feasible(sub_list, device, cand.area):
+            return INFEASIBLE
+        model = self.model
+        model.n_delta_evaluations += 1
+        model.delta_work += (self.n - first_pos) / self.n
+
+        if self._ck is not None:
+            # the C side applies the move, simulates the suffix against
+            # the snapshotted base and restores the mapping
+            return self._eval_move_c(
+                self._ctx_p,
+                self._dctx_p,
+                cand.ptr,
+                len(sub_list),
+                device,
+                first_pos,
+                bound,
+            )
+
+        mp = self._map
+        old = [mp[t] for t in sub_list]
+        for t in sub_list:
+            mp[t] = device
+        ts = self._tstart
+        tf = self._tfinish
+        order = self.order
+        try:
+            return simulate_span(
+                self.flat,
+                mp,
+                order,
+                first_pos,
+                ts,
+                tf,
+                self._snap_avail[first_pos].copy(),
+                self._pre_ms[first_pos],
+                bound=bound,
+            )
+        finally:
+            for t, o in zip(sub_list, old):
+                mp[t] = o
+            bs = self._start
+            bf = self._finish
+            for j in range(first_pos, self.n):
+                i = order[j]
+                ts[i] = bs[i]
+                tf[i] = bf[i]
+
+    # ------------------------------------------------------------------
+    def evaluate_moves(
+        self, items: Sequence[Tuple[Candidate, int]]
+    ) -> np.ndarray:
+        """Makespans of many ``(candidate, device)`` moves (aligned array).
+
+        Values are bit-identical to :meth:`evaluate_move` per item (and
+        hence to a scratch simulation).  With the C kernel loaded the
+        items are simply evaluated one suffix at a time (native suffix
+        evaluation is already cheaper than any batching overhead).  On
+        the pure Python path, feasible lanes are sorted by first
+        affected position and cut into chunks of at most
+        ``_BATCH_CHUNK``: each chunk simulates as lockstep vector lanes
+        from its *earliest* lane's position on the shared base prefix
+        (:func:`repro.evaluation.kernel.simulate_batch` — lanes starting
+        later merely recompute base-identical values for a few
+        positions, which is exact); chunks too small to amortize numpy
+        call overhead fall back to the scalar suffix kernel.
+        """
+        res = np.empty(len(items))
+        if self._ck is not None:
+            evaluate = self.evaluate_move
+            for idx, (cand, dev) in enumerate(items):
+                res[idx] = evaluate(cand, dev)
+            return res
+        feas: List[int] = []
+        for idx, (cand, dev) in enumerate(items):
+            if self._move_feasible(cand.members, dev, cand.area):
+                feas.append(idx)
+            else:
+                res[idx] = INFEASIBLE
+        feas.sort(key=lambda idx: items[idx][0].first_pos)
+        n = self.n
+        model = self.model
+        at = 0
+        while at < len(feas):
+            chunk = feas[at : at + _BATCH_CHUNK]
+            at += len(chunk)
+            if len(chunk) < _BATCH_MIN:
+                for idx in chunk:
+                    cand, dev = items[idx]
+                    res[idx] = self.evaluate_move(cand, dev)
+                continue
+            k = items[chunk[0]][0].first_pos
+            B = len(chunk)
+            map_blk = np.repeat(self._np_map[:, None], B, axis=1)
+            for b, idx in enumerate(chunk):
+                cand, dev = items[idx]
+                map_blk[cand.members, b] = dev
+            start_blk = np.repeat(self._start_np[:, None], B, axis=1)
+            finish_blk = np.repeat(self._finish_np[:, None], B, axis=1)
+            avail_blk = np.repeat(self._snap_np[k][:, None], B, axis=1)
+            ms = np.full(B, self._pre_ms[k])
+            simulate_batch(
+                self.flat,
+                map_blk,
+                self.order,
+                k,
+                start_blk,
+                finish_blk,
+                avail_blk,
+                ms,
+            )
+            res[chunk] = ms
+            model.n_delta_evaluations += B
+            model.delta_work += B * (n - k) / n
+        return res
+
+    # ------------------------------------------------------------------
+    def apply_move(self, sub_list: List[int], device: int) -> float:
+        """Commit a move to the base mapping and rebuild the snapshots.
+
+        One O(V + E) rebuild per *applied* move (once per greedy
+        iteration) — the per-candidate work stays suffix-sized.
+        """
+        for t in sub_list:
+            self._map[t] = device
+        self._np_map[sub_list] = device
+        usage = self.model.area_usage(self._np_map)
+        self._usage = [usage[d] for d in self._area_devs]
+        return self._rebuild()
+
+    # ------------------------------------------------------------------
+    @property
+    def mapping(self) -> np.ndarray:
+        """A copy of the current base mapping."""
+        return self._np_map.copy()
+
+    @property
+    def base_list(self) -> List[int]:
+        """The live base mapping as a Python list — treat as read-only.
+
+        Exposed (not copied) so greedy scans can do per-move no-op checks
+        without per-move allocations; it is mutated in place by
+        :meth:`apply_move` and stays valid across iterations.
+        """
+        return self._map

@@ -67,8 +67,33 @@ class MappingEvaluator:
 
     @property
     def n_evaluations(self) -> int:
-        """Total number of makespan simulations performed so far."""
+        """Model evaluations so far: full simulations + delta suffix evals.
+
+        Each incremental suffix re-evaluation answers one candidate-move
+        query (the paper's "full re-evaluation per replacement"), so it
+        counts as one evaluation here; see :attr:`n_equivalent_evaluations`
+        for the cost-weighted view.
+        """
+        return self.model.n_simulations + self.model.n_delta_evaluations
+
+    @property
+    def n_full_simulations(self) -> int:
+        """Full O(V+E) scratch simulations only."""
         return self.model.n_simulations
+
+    @property
+    def n_delta_evaluations(self) -> int:
+        """Incremental suffix re-evaluations only."""
+        return self.model.n_delta_evaluations
+
+    @property
+    def n_equivalent_evaluations(self) -> float:
+        """Evaluation effort in units of one full O(V+E) simulation.
+
+        Full simulations count 1; a delta evaluation counts its suffix
+        fraction (``suffix length / n``).
+        """
+        return self.model.n_simulations + self.model.delta_work
 
     def cpu_mapping(self) -> np.ndarray:
         """The all-host default mapping (device 0 for every task)."""

@@ -1,0 +1,372 @@
+"""Flat-array cost kernel: the tight inner loop of the makespan simulation.
+
+:class:`FlatModel` flattens the per-graph tables of
+:class:`~repro.evaluation.costmodel.CostModel` onto CSR-style contiguous
+numpy arrays:
+
+- ``pred_ptr``/``pred_src`` — CSR predecessor structure: the predecessors
+  of task ``i`` are ``pred_src[pred_ptr[i]:pred_ptr[i + 1]]``;
+- ``pred_trans`` — one flattened ``m * m`` transfer table per edge
+  (``pred_trans[e, du * m + dv]`` = seconds from device ``du`` to ``dv``);
+- ``exec``/``fill``/``initial``/``final`` — ``(n, m)`` contiguous
+  ``float64`` tables (execution, pipeline fill, host→device input,
+  device→host result).
+
+The simulation itself is an inherently *sequential* list-scheduling
+recurrence (slot state couples every step), so it cannot be vectorized
+across tasks; the arrays are therefore mirrored once into flat Python
+lists (``exec_l[i * m + d]`` etc.) which CPython indexes several times
+faster than ndarray scalars.  :func:`simulate_span` is the one loop body
+shared by every evaluation path — full scratch simulation (span from
+position 0) and incremental suffix re-simulation
+(:mod:`repro.evaluation.delta`) — which makes the scratch/delta exactness
+contract structural: both run literally the same statements.
+
+Exactness contract: :func:`simulate_span` performs bit-for-bit the same
+float64 operations in the same order as the legacy nested-list walk
+(kept as ``CostModel._simulate_reference`` and pinned by
+``tests/test_kernel_delta.py``), so kernel selection is transparent —
+it is an optimization, never an approximation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FlatModel", "simulate_span", "simulate_batch", "INF"]
+
+INF = float("inf")
+
+
+class FlatModel:
+    """CSR/flat-array view of one ``CostModel``'s tables (see module doc)."""
+
+    __slots__ = (
+        "n",
+        "m",
+        "pred_ptr",
+        "pred_src",
+        "pred_trans",
+        "exec",
+        "fill",
+        "initial",
+        "final",
+        "streaming",
+        "serializes",
+        "slots",
+        "slot_ptr",
+        "n_slots",
+        "has_initial",
+        "has_final",
+        "has_initial_l",
+        "has_final_l",
+        "streaming_u8",
+        "serializes_u8",
+        # interpreter-friendly flat list mirrors (built once, read-only)
+        "exec_l",
+        "fill_l",
+        "initial_l",
+        "final_l",
+        "pred_l",
+        "streaming_l",
+        "serializes_l",
+        "slot_ptr_l",
+    )
+
+    def __init__(
+        self,
+        *,
+        exec_table: np.ndarray,
+        fill_table: np.ndarray,
+        initial_table: np.ndarray,
+        final_table: np.ndarray,
+        pred_lists: Sequence[Sequence[Tuple[int, Sequence[Sequence[float]]]]],
+        streaming: Sequence[bool],
+        serializes: Sequence[bool],
+        slots: Sequence[int],
+    ) -> None:
+        n, m = exec_table.shape
+        self.n = n
+        self.m = m
+        self.exec = np.ascontiguousarray(exec_table, dtype=np.float64)
+        self.fill = np.ascontiguousarray(fill_table, dtype=np.float64)
+        self.initial = np.ascontiguousarray(initial_table, dtype=np.float64)
+        self.final = np.ascontiguousarray(final_table, dtype=np.float64)
+
+        ptr = np.zeros(n + 1, dtype=np.int64)
+        src: List[int] = []
+        trans_rows: List[np.ndarray] = []
+        for i, plist in enumerate(pred_lists):
+            for p, row in plist:
+                src.append(p)
+                trans_rows.append(np.asarray(row, dtype=np.float64).ravel())
+            ptr[i + 1] = len(src)
+        self.pred_ptr = ptr
+        self.pred_src = np.asarray(src, dtype=np.int64)
+        self.pred_trans = (
+            np.vstack(trans_rows)
+            if trans_rows
+            else np.empty((0, m * m), dtype=np.float64)
+        )
+
+        self.streaming = np.asarray(streaming, dtype=bool)
+        self.serializes = np.asarray(serializes, dtype=bool)
+        self.streaming_u8 = self.streaming.astype(np.uint8)
+        self.serializes_u8 = self.serializes.astype(np.uint8)
+        self.slots = np.asarray(slots, dtype=np.int64)
+        # serializing devices get a contiguous slot range in one flat
+        # availability vector; non-serializing (spatial) devices get none
+        slot_ptr = np.zeros(m + 1, dtype=np.int64)
+        for d in range(m):
+            width = int(self.slots[d]) if self.serializes[d] else 0
+            slot_ptr[d + 1] = slot_ptr[d] + width
+        self.slot_ptr = slot_ptr
+        self.n_slots = int(slot_ptr[-1])
+
+        # batch-kernel helpers: which tasks actually pay host I/O
+        self.has_initial = np.any(self.initial != 0.0, axis=1)
+        self.has_final = np.any(self.final != 0.0, axis=1)
+        self.has_initial_l = self.has_initial.tolist()
+        self.has_final_l = self.has_final.tolist()
+
+        # flat Python mirrors for the interpreter loop
+        self.exec_l = self.exec.ravel().tolist()
+        self.fill_l = self.fill.ravel().tolist()
+        self.initial_l = self.initial.ravel().tolist()
+        self.final_l = self.final.ravel().tolist()
+        trans_l = self.pred_trans.tolist()
+        src_l = self.pred_src.tolist()
+        self.pred_l: List[List[Tuple[int, List[float]]]] = [
+            [
+                (src_l[e], trans_l[e])
+                for e in range(int(ptr[i]), int(ptr[i + 1]))
+            ]
+            for i in range(n)
+        ]
+        self.streaming_l = self.streaming.tolist()
+        self.serializes_l = self.serializes.tolist()
+        self.slot_ptr_l = slot_ptr.tolist()
+
+    # ------------------------------------------------------------------
+    def fresh_avail(self) -> List[float]:
+        """A zeroed flat slot-availability vector."""
+        return [0.0] * self.n_slots
+
+
+def simulate_span(
+    flat: FlatModel,
+    mapping: List[int],
+    order: Sequence[int],
+    k: int,
+    start: List[float],
+    finish: List[float],
+    avail: List[float],
+    makespan: float,
+    *,
+    contention: bool = True,
+    bound: float = INF,
+) -> float:
+    """Simulate schedule positions ``k .. len(order)-1`` in place.
+
+    ``start``/``finish`` must hold valid values for every task scheduled
+    before position ``k`` (they are read for predecessors and written for
+    the span's tasks); ``avail`` is the flat slot-availability vector at
+    position ``k`` and ``makespan`` the running max task-end over
+    positions ``< k``.  Returns the final makespan, or ``inf`` as soon as
+    the running makespan reaches ``bound`` (the caller's
+    branch-and-bound cutoff: max is monotone, so the final value could
+    only be larger and an exact result is not needed to reject the move).
+
+    The float operations replicate ``CostModel._simulate_reference``
+    bit-for-bit — see the module docstring's exactness contract.
+    """
+    m = flat.m
+    exec_l = flat.exec_l
+    fill_l = flat.fill_l
+    initial_l = flat.initial_l
+    final_l = flat.final_l
+    pred_l = flat.pred_l
+    streaming = flat.streaming_l
+    serializes = flat.serializes_l
+    slot_ptr = flat.slot_ptr_l
+
+    for j in range(k, len(order)):
+        i = order[j]
+        d = mapping[i]
+        row = i * m
+        ready = initial_l[row + d]
+        drain = 0.0
+        for p, trans in pred_l[i]:
+            dp = mapping[p]
+            if dp == d and streaming[d]:
+                # on-chip streaming: start after the producer's pipeline
+                # is filled; cannot finish before the producer finishes.
+                r = start[p] + fill_l[p * m + dp]
+                fp = finish[p]
+                if fp > drain:
+                    drain = fp
+            else:
+                r = finish[p] + trans[dp * m + d]
+            if r > ready:
+                ready = r
+        st = ready
+        slot = -1
+        if contention and serializes[d]:
+            s0 = slot_ptr[d]
+            s1 = slot_ptr[d + 1]
+            slot = s0
+            earliest = avail[s0]
+            for q in range(s0 + 1, s1):
+                v = avail[q]
+                if v < earliest:
+                    earliest = v
+                    slot = q
+            if earliest > ready:
+                st = earliest
+        fin = st + exec_l[row + d]
+        if drain > fin:
+            fin = drain
+        start[i] = st
+        finish[i] = fin
+        if slot >= 0:
+            avail[slot] = fin
+        end = fin + final_l[row + d]
+        if end > makespan:
+            makespan = end
+            if makespan >= bound:
+                return INF
+    return makespan
+
+
+def simulate_batch(
+    flat: FlatModel,
+    map_blk: np.ndarray,
+    order: Sequence[int],
+    k: int,
+    start_blk: np.ndarray,
+    finish_blk: np.ndarray,
+    avail_blk: np.ndarray,
+    makespan: np.ndarray,
+) -> np.ndarray:
+    """Vectorized span: simulate B mappings in lockstep over positions.
+
+    Lane ``b`` simulates the mapping ``map_blk[:, b]``; state arrays are
+    task-major (``(n, B)`` / ``(n_slots, B)``) so each position touches
+    contiguous rows.  ``start_blk``/``finish_blk`` must hold each lane's
+    valid values for positions before ``k`` (for a shared base prefix:
+    the base values broadcast), ``avail_blk`` the slot state at ``k`` and
+    ``makespan`` the running prefix max per lane.  Returns the per-lane
+    makespans (the ``makespan`` array, updated in place).
+
+    Every elementwise operation mirrors one scalar statement of
+    :func:`simulate_span` in the same order, so each lane's result is
+    bit-identical to a scalar simulation of that lane's mapping
+    (``np.argmin`` keeps the scalar loop's first-smallest-slot
+    tie-break).  Lanes never interact — this is pure SIMD over candidate
+    moves, the payoff of the CSR/flat-array layout.
+    """
+    m = flat.m
+    exec_t = flat.exec
+    fill_t = flat.fill
+    initial_t = flat.initial
+    final_t = flat.final
+    has_initial = flat.has_initial_l
+    has_final = flat.has_final_l
+    pred_ptr = flat.pred_ptr
+    pred_src = flat.pred_src
+    pred_trans = flat.pred_trans
+    streaming_np = flat.streaming
+    serializes_l = flat.serializes_l
+    slot_ptr = flat.slot_ptr_l
+    any_streaming = bool(streaming_np.any())
+    serial_devs = [d for d in range(m) if serializes_l[d]]
+
+    B = map_blk.shape[1]
+    zeros = np.zeros(B)
+
+    for j in range(k, len(order)):
+        i = order[j]
+        d = map_blk[i]
+        ready = initial_t[i].take(d) if has_initial[i] else zeros.copy()
+        e0 = int(pred_ptr[i])
+        e1 = int(pred_ptr[i + 1])
+        if any_streaming and e1 > e0:
+            stream_d = streaming_np.take(d)
+            drain = None
+            for e in range(e0, e1):
+                p = int(pred_src[e])
+                dp = map_blk[p]
+                fp = finish_blk[p]
+                r = fp + pred_trans[e].take(dp * m + d)
+                mask = stream_d & (dp == d)
+                if mask.any():
+                    rs = start_blk[p] + fill_t[p].take(dp)
+                    r = np.where(mask, rs, r)
+                    fp_masked = np.where(mask, fp, 0.0)
+                    drain = (
+                        fp_masked
+                        if drain is None
+                        else np.maximum(drain, fp_masked)
+                    )
+                ready = np.maximum(ready, r)
+        else:
+            drain = None
+            for e in range(e0, e1):
+                p = int(pred_src[e])
+                dp = map_blk[p]
+                r = finish_blk[p] + pred_trans[e].take(dp * m + d)
+                ready = np.maximum(ready, r)
+        st = ready
+        scatters = []
+        for dev in serial_devs:
+            mask = d == dev
+            if not mask.any():
+                continue
+            s0 = slot_ptr[dev]
+            s1 = slot_ptr[dev + 1]
+            sub = avail_blk[s0:s1]
+            sl = np.argmin(sub, axis=0)
+            earliest = sub[sl, np.arange(B)]
+            st = np.where(mask & (earliest > ready), earliest, st)
+            scatters.append((s0, sl, mask))
+        fin = st + exec_t[i].take(d)
+        if drain is not None:
+            fin = np.maximum(fin, drain)
+        start_blk[i] = st
+        finish_blk[i] = fin
+        for s0, sl, mask in scatters:
+            lanes = np.nonzero(mask)[0]
+            avail_blk[s0 + sl[lanes], lanes] = fin[lanes]
+        end = fin + final_t[i].take(d) if has_final[i] else fin
+        np.maximum(makespan, end, out=makespan)
+    return makespan
+
+
+def simulate_flat(
+    flat: FlatModel,
+    mapping: List[int],
+    order: Sequence[int],
+    *,
+    contention: bool = True,
+    out_start: Optional[List[float]] = None,
+    out_finish: Optional[List[float]] = None,
+) -> float:
+    """Full scratch simulation (a span from position 0 on fresh state)."""
+    start = [0.0] * flat.n if out_start is None else out_start
+    finish = [0.0] * flat.n if out_finish is None else out_finish
+    return simulate_span(
+        flat,
+        mapping,
+        order,
+        0,
+        start,
+        finish,
+        flat.fresh_avail(),
+        0.0,
+        contention=contention,
+    )
+
+
+__all__.append("simulate_flat")

@@ -31,7 +31,8 @@ class MappingResult:
     makespan: float
     #: wall-clock seconds spent inside the mapper
     elapsed_s: float
-    #: number of cost-model simulations performed by the mapper
+    #: cost-model evaluations performed by the mapper (full simulations
+    #: plus incremental delta evaluations; split in ``stats``)
     n_evaluations: int = 0
     #: algorithm-specific counters (iterations, generations, MILP status ...)
     stats: Dict[str, float] = field(default_factory=dict)
@@ -59,9 +60,20 @@ class Mapper(abc.ABC):
         """Compute a mapping for the evaluator's graph/platform."""
         rng = rng if rng is not None else np.random.default_rng(0)
         evals_before = evaluator.n_evaluations
+        deltas_before = getattr(evaluator, "n_delta_evaluations", 0)
+        equiv_before = getattr(evaluator, "n_equivalent_evaluations", None)
         t0 = time.perf_counter()
         mapping, stats = self._run(evaluator, rng)
         elapsed = time.perf_counter() - t0
+        stats.setdefault(
+            "n_delta_evaluations",
+            float(getattr(evaluator, "n_delta_evaluations", 0) - deltas_before),
+        )
+        if equiv_before is not None:
+            stats.setdefault(
+                "n_equivalent_evaluations",
+                float(evaluator.n_equivalent_evaluations - equiv_before),
+            )
         mapping = np.asarray(mapping, dtype=np.int64)
         if mapping.shape != (evaluator.n_tasks,):
             raise ValueError(

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..evaluation.delta import Candidate, DeltaEvaluator
 from ..evaluation.evaluator import MappingEvaluator
 from ..sp.subgraphs import series_parallel_candidates, single_node_candidates
 from .base import Mapper
@@ -141,27 +142,188 @@ class DecompositionMapper(Mapper):
     ) -> Tuple[np.ndarray, Dict[str, float]]:
         subgraphs = self.candidate_index_sets(evaluator, rng)
         n_devices = evaluator.n_devices
-        moves: List[Tuple[np.ndarray, int]] = [
-            (sub, d) for sub in subgraphs for d in range(n_devices)
-        ]
         mapping = evaluator.cpu_mapping()
-        current = self._objective(evaluator, mapping)
         cap = max(1, int(np.ceil(self.iteration_cap_factor * evaluator.n_tasks)))
 
-        if self.heuristic == "basic":
-            mapping, current, iterations = self._run_basic(
-                evaluator, mapping, current, moves, cap
-            )
+        # The incremental (delta) path evaluates moves by re-simulating only
+        # the suffix from each move's first affected schedule position —
+        # bit-identical results, O(affected suffix) per move.  It applies
+        # whenever the objective is the plain construction makespan (the
+        # default); subclasses with a custom ``_objective`` (e.g. the
+        # energy-aware mapper) fall back to full trial evaluations.
+        model = getattr(evaluator, "model", None)
+        if type(self)._objective is DecompositionMapper._objective and model is not None:
+            delta = DeltaEvaluator(model)
+            prepared = [delta.candidate(sub) for sub in subgraphs]
+            dmoves = [
+                (cand, d) for cand in prepared for d in range(n_devices)
+            ]
+            if self.heuristic == "basic":
+                mapping, current, iterations = self._run_basic_delta(
+                    delta, mapping, dmoves, cap
+                )
+            else:
+                mapping, current, iterations = self._run_gamma_delta(
+                    delta, mapping, dmoves, cap
+                )
+            n_moves = len(dmoves)
         else:
-            mapping, current, iterations = self._run_gamma(
-                evaluator, mapping, current, moves, cap
-            )
+            moves: List[Tuple[np.ndarray, int]] = [
+                (sub, d) for sub in subgraphs for d in range(n_devices)
+            ]
+            current = self._objective(evaluator, mapping)
+            if self.heuristic == "basic":
+                mapping, current, iterations = self._run_basic(
+                    evaluator, mapping, current, moves, cap
+                )
+            else:
+                mapping, current, iterations = self._run_gamma(
+                    evaluator, mapping, current, moves, cap
+                )
+            n_moves = len(moves)
         stats = {
             "iterations": float(iterations),
             "n_candidates": float(len(subgraphs)),
-            "n_moves": float(len(moves)),
+            "n_moves": float(n_moves),
         }
         return mapping, stats
+
+    # ------------------------------------------------------------------
+    def _run_basic_delta(
+        self,
+        delta: DeltaEvaluator,
+        mapping: np.ndarray,
+        moves: Sequence[Tuple[Candidate, int]],
+        cap: int,
+    ) -> Tuple[np.ndarray, float, int]:
+        """Basic heuristic on the incremental evaluator.
+
+        Move selection is identical to :meth:`_run_basic`: the evaluator
+        returns bit-identical makespans and move order is preserved (the
+        tie-break is the first strict improvement in move order).  Each
+        move is one suffix evaluation with a bound-abort at the best
+        makespan so far — the abort only short-circuits moves that could
+        not have been selected anyway (the running makespan is a
+        monotone lower bound), so the scan result is exact.
+        """
+        iterations = 0
+        eps = 1e-12
+        current = delta.reset(mapping)
+        mp = delta.base_list
+        evaluate = delta.evaluate_move
+        while iterations < cap:
+            best_ms = current
+            best_move: Optional[Tuple[Candidate, int]] = None
+            for cand, d in moves:
+                for t in cand.members:
+                    if mp[t] != d:
+                        break
+                else:  # no-op move: already mapped there
+                    continue
+                ms = evaluate(cand, d, bound=best_ms - eps)
+                if ms < best_ms - eps:
+                    best_ms = ms
+                    best_move = (cand, d)
+            if best_move is None:
+                break
+            delta.apply_move(best_move[0].members, best_move[1])
+            current = best_ms
+            iterations += 1
+        return delta.mapping, current, iterations
+
+    # ------------------------------------------------------------------
+    def _run_gamma_delta(
+        self,
+        delta: DeltaEvaluator,
+        mapping: np.ndarray,
+        moves: Sequence[Tuple[Candidate, int]],
+        cap: int,
+    ) -> Tuple[np.ndarray, float, int]:
+        """Gamma/FirstFit heuristic on the incremental evaluator.
+
+        Mirrors :meth:`_run_gamma` exactly.  Expectations steer later
+        scan orders, so every evaluated move's gain is exact (no
+        bound-abort).  The first pass evaluates every move and goes
+        through :meth:`DeltaEvaluator.evaluate_moves` (one large batch
+        on the pure Python path, plain suffix evaluations with the C
+        kernel); the per-round priority scans evaluate only a handful of
+        moves before stopping, so they always follow the scan move by
+        move.
+        """
+        eps = 1e-12
+        n_moves = len(moves)
+        expected = [0.0] * n_moves
+        current = delta.reset(mapping)
+        mp = delta.base_list
+
+        def pass_gains(indices) -> Dict[int, float]:
+            """Exact gains for a set of move indices (no-ops are 0)."""
+            items = []
+            keys = []
+            gains: Dict[int, float] = {}
+            for k in indices:
+                cand, d = moves[k]
+                for t in cand.members:
+                    if mp[t] != d:
+                        break
+                else:
+                    gains[k] = 0.0
+                    continue
+                items.append((cand, d))
+                keys.append(k)
+            if items:
+                for k, ms in zip(keys, delta.evaluate_moves(items)):
+                    gains[k] = current - ms
+            return gains
+
+        # First pass (Sec. III-D): evaluate every move once.
+        gains = pass_gains(range(n_moves))
+        best_gain = 0.0
+        best_idx = -1
+        for k in range(n_moves):
+            gain = gains[k]
+            expected[k] = gain
+            if gain > best_gain + eps:
+                best_gain = gain
+                best_idx = k
+        iterations = 0
+        if best_idx < 0:
+            return delta.mapping, current, iterations
+        cand, d = moves[best_idx]
+        delta.apply_move(cand.members, d)
+        current -= best_gain
+        iterations += 1
+
+        gamma = self.gamma
+        evaluate = delta.evaluate_move
+        while iterations < cap:
+            order = np.argsort(
+                -np.asarray(expected), kind="stable"
+            ).tolist()
+            best_gain = 0.0
+            best_idx = -1
+            for k in order:
+                if best_gain > eps and expected[k] <= best_gain / gamma + eps:
+                    break
+                cand, d = moves[k]
+                for t in cand.members:
+                    if mp[t] != d:
+                        break
+                else:
+                    expected[k] = 0.0
+                    continue
+                gain = current - evaluate(cand, d)
+                expected[k] = gain
+                if gain > best_gain + eps:
+                    best_gain = gain
+                    best_idx = k
+            if best_idx < 0:
+                break
+            cand, d = moves[best_idx]
+            delta.apply_move(cand.members, d)
+            current -= best_gain
+            iterations += 1
+        return delta.mapping, current, iterations
 
     # ------------------------------------------------------------------
     def _run_basic(

@@ -32,7 +32,29 @@ __all__ = [
     "single_node_candidates",
     "series_parallel_candidates",
     "candidates_from_forest",
+    "schedule_span",
 ]
+
+
+def schedule_span(members, pos) -> "tuple[int, int]":
+    """``(first, last)`` schedule positions a candidate subgraph occupies.
+
+    ``pos`` maps task index -> position in a fixed schedule order.  Under
+    that fixed order, remapping the candidate can only change simulation
+    state from ``first`` onward — this is what lets the incremental
+    evaluator (:class:`repro.evaluation.delta.DeltaEvaluator`) re-simulate
+    just the suffix, and lets callers group moves that share a prefix.
+    """
+    it = iter(members)
+    t0 = next(it)
+    first = last = pos[t0]
+    for t in it:
+        p = pos[t]
+        if p < first:
+            first = p
+        elif p > last:
+            last = p
+    return first, last
 
 
 def _ordered(sets: set, g: TaskGraph) -> List[FrozenSet[int]]:
@@ -45,6 +67,27 @@ def single_node_candidates(g: TaskGraph) -> List[FrozenSet[int]]:
     return [frozenset({t}) for t in g.tasks()]
 
 
+def _collect_candidates(op, real_tasks: set, sets: set) -> FrozenSet[int]:
+    """Post-order walk adding one candidate per inner operation.
+
+    Returns the node set of ``op``; computing the sets bottom-up (each
+    operation unions its children's sets) replaces the original
+    per-operation ``op.nodes()`` leaf walks, which re-enumerated every
+    leaf edge once per tree level — a measurable cost in the mapper hot
+    path now that evaluation itself is cheap.
+    """
+    if not isinstance(op, (SPSeries, SPParallel)):  # leaf edge
+        return frozenset((op.source, op.sink))
+    nodes = frozenset().union(
+        *(_collect_candidates(c, real_tasks, sets) for c in op.children)
+    )
+    cand = nodes - {op.source, op.sink} if isinstance(op, SPSeries) else nodes
+    cand = cand & real_tasks  # drop virtual/normalization nodes
+    if cand:
+        sets.add(cand)
+    return nodes
+
+
 def candidates_from_forest(
     g: TaskGraph, forest: DecompositionForest
 ) -> List[FrozenSet[int]]:
@@ -52,15 +95,7 @@ def candidates_from_forest(
     real_tasks = set(g.tasks())
     sets = {frozenset({t}) for t in g.tasks()}
     for tree in forest.trees:
-        for op in tree.inner_nodes():
-            nodes = op.nodes()
-            if isinstance(op, SPSeries):
-                nodes = nodes - {op.source, op.sink}
-            elif not isinstance(op, SPParallel):  # pragma: no cover
-                continue
-            nodes = nodes & real_tasks  # drop virtual/normalization nodes
-            if nodes:
-                sets.add(frozenset(nodes))
+        _collect_candidates(tree, real_tasks, sets)
     return _ordered(sets, g)
 
 

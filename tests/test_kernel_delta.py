@@ -1,0 +1,368 @@
+"""Exactness contract of the fast evaluation core.
+
+The flat-array kernel (Python and compiled C), the vectorized batch
+kernel and the incremental delta evaluator are *optimizations, never
+approximations*: every path must reproduce the original nested-list
+walk (``CostModel._simulate_reference``) **bit for bit** — makespan and
+per-task start/finish — across graph families, random mappings, random
+schedule orders, streaming chains, FPGA area-infeasible mappings and
+``contention=False`` bounds.  The greedy mappers' trajectories (and
+hence every ``improvement`` number in the committed result CSVs) follow
+from these equalities.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    INFEASIBLE,
+    CachedEvaluator,
+    CostModel,
+    DeltaEvaluator,
+    MappingEvaluator,
+    random_topological_schedule,
+)
+from repro.evaluation._ckernel import load_ckernel
+from repro.evaluation.delta import _BATCH_MIN
+from repro.evaluation.kernel import simulate_flat
+from repro.graphs import TaskGraph
+from repro.graphs.generators import (
+    augment_workflow,
+    make_workflow,
+    random_almost_sp_graph,
+    random_layered_graph,
+    random_sp_graph,
+)
+from repro.mappers.decomposition import DecompositionMapper
+from repro.platform import Platform, cpu, fpga, gpu, paper_platform
+from repro.sp.subgraphs import schedule_span
+from tests.conftest import make_evaluator
+
+HAVE_CKERNEL = load_ckernel() is not None
+
+#: kernel modes exercised by the equivalence tests
+MODES = [False] + ([None] if HAVE_CKERNEL else [])
+MODE_IDS = ["python"] + (["ckernel"] if HAVE_CKERNEL else [])
+
+
+def tight_platform():
+    """Small-area platform so random mappings hit FPGA infeasibility."""
+    devices = [
+        cpu("c", lane_gops=1.0, lanes=4, slots=2, setup_s=0.0),
+        gpu("g", lane_gops=8.0, lanes=1, setup_s=0.001),
+        fpga("f", stream_gops=2.0, area_capacity=6.0, setup_s=0.0),
+    ]
+    bw = [[np.inf, 2.0, 1.0], [2.0, np.inf, 1.0], [1.0, 1.0, np.inf]]
+    lat = [[0.0, 1e-4, 2e-4], [1e-4, 0.0, 1e-4], [2e-4, 1e-4, 0.0]]
+    return Platform(devices, bw, lat)
+
+
+def streaming_chain(n=8):
+    """A chain with high streamability — exercises fill/drain co-mapping."""
+    g = TaskGraph()
+    for i in range(n):
+        g.add_task(i, complexity=4.0, streamability=6.0, area=1.0)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, data_mb=200.0)
+    return g
+
+
+def graph_family(kind: str, n: int, rng) -> TaskGraph:
+    if kind == "sp":
+        return random_sp_graph(n, rng)
+    if kind == "almost_sp":
+        return random_almost_sp_graph(n, max(1, n // 4), rng)
+    if kind == "layered":
+        return random_layered_graph(max(2, n // 4), 4, rng)
+    if kind == "workflow":
+        g = make_workflow("montage", n, rng)
+        augment_workflow(g, rng)
+        return g
+    if kind == "chain":
+        return streaming_chain(min(n, 12))
+    raise ValueError(kind)
+
+
+FAMILIES = ["sp", "almost_sp", "layered", "workflow", "chain"]
+
+
+# ---------------------------------------------------------------------------
+# kernel == legacy reference, bit-identical
+# ---------------------------------------------------------------------------
+class TestKernelBitIdentical:
+    @pytest.mark.parametrize("use_ckernel", MODES, ids=MODE_IDS)
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_families_random_mappings_and_orders(self, family, use_ckernel):
+        rng = np.random.default_rng(FAMILIES.index(family))
+        for plat in (paper_platform(), tight_platform()):
+            g = graph_family(family, 18, rng)
+            model = CostModel(g, plat, use_ckernel=use_ckernel)
+            n = model.n
+            for _ in range(25):
+                mapping = rng.integers(0, plat.n_devices, size=n)
+                # makespan must match the reference EXACTLY (==, not approx),
+                # including INFEASIBLE area violations
+                assert _same(
+                    model.simulate(mapping), model._simulate_reference(mapping)
+                )
+                order = random_topological_schedule(g, rng)
+                assert _same(
+                    model.simulate(mapping, order, check_feasibility=False),
+                    model._simulate_reference(
+                        mapping, order, check_feasibility=False
+                    ),
+                )
+                # contention=False bound path
+                assert _same(
+                    model.simulate(
+                        mapping, check_feasibility=False, contention=False
+                    ),
+                    model._simulate_reference(
+                        mapping, check_feasibility=False, contention=False
+                    ),
+                )
+
+    @pytest.mark.skipif(not HAVE_CKERNEL, reason="no C compiler available")
+    def test_c_and_python_kernels_agree(self):
+        rng = np.random.default_rng(77)
+        plat = tight_platform()
+        g = random_almost_sp_graph(30, 8, rng)
+        mc = CostModel(g, plat, use_ckernel=True)
+        mp_ = CostModel(g, plat, use_ckernel=False)
+        for _ in range(40):
+            mapping = rng.integers(0, plat.n_devices, size=30)
+            assert _same(mc.simulate(mapping), mp_.simulate(mapping))
+
+    def test_requesting_unavailable_ckernel_raises(self, monkeypatch):
+        import repro.evaluation.costmodel as cm
+
+        monkeypatch.setattr(cm, "load_ckernel", lambda: None)
+        g = random_sp_graph(5, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            CostModel(g, paper_platform(), use_ckernel=True)
+        # None (auto) quietly falls back to the Python kernel
+        model = CostModel(g, paper_platform(), use_ckernel=None)
+        assert model._ck is None
+
+
+# ---------------------------------------------------------------------------
+# delta evaluation == scratch evaluation, bit-identical
+# ---------------------------------------------------------------------------
+class TestDeltaEquivalence:
+    @pytest.mark.parametrize("use_ckernel", MODES, ids=MODE_IDS)
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_random_move_sequences(self, family, use_ckernel):
+        rng = np.random.default_rng(100 + FAMILIES.index(family))
+        plat = tight_platform()  # small FPGA: infeasible moves do occur
+        g = graph_family(family, 16, rng)
+        model = CostModel(g, plat, use_ckernel=use_ckernel)
+        n = model.n
+        delta = DeltaEvaluator(model)
+        assert _same(
+            delta.reset(np.zeros(n, dtype=np.int64)),
+            model._simulate_reference([0] * n),
+        )
+        # guaranteed FPGA area violation: total area exceeds capacity 6
+        everything = delta.candidate(np.arange(n))
+        assert delta.evaluate_move(everything, 2) == INFEASIBLE
+        assert model._simulate_reference([2] * n) == INFEASIBLE
+        for _ in range(120):
+            size = int(rng.integers(1, max(2, n // 3)))
+            sub = rng.choice(n, size=size, replace=False)
+            d = int(rng.integers(0, plat.n_devices))
+            cand = delta.candidate(sub)
+            ms = delta.evaluate_move(cand, d)
+            trial = delta.mapping
+            trial[sub] = d
+            ref = model._simulate_reference(trial)
+            assert _same(ms, ref)
+            if ms != INFEASIBLE and rng.random() < 0.35:
+                # commit: the rebuilt base (makespan AND per-task
+                # start/finish) must equal a scratch simulation
+                assert _same(delta.apply_move(cand.members, d), ref)
+                start = [0.0] * n
+                finish = [0.0] * n
+                simulate_flat(
+                    model.flat, trial.tolist(), delta.order,
+                    out_start=start, out_finish=finish,
+                )
+                np.testing.assert_array_equal(delta._start_np, start)
+                np.testing.assert_array_equal(delta._finish_np, finish)
+
+    @pytest.mark.parametrize("use_ckernel", MODES, ids=MODE_IDS)
+    def test_bound_abort_is_conservative(self, use_ckernel):
+        """Aborted evaluations only ever hide values >= the bound."""
+        rng = np.random.default_rng(5)
+        g = random_sp_graph(20, rng)
+        model = CostModel(g, paper_platform(), use_ckernel=use_ckernel)
+        delta = DeltaEvaluator(model)
+        base = delta.reset(np.zeros(20, dtype=np.int64))
+        for _ in range(60):
+            t = int(rng.integers(20))
+            d = int(rng.integers(3))
+            cand = delta.candidate([t])
+            exact = delta.evaluate_move(cand, d)
+            bound = base * float(rng.uniform(0.5, 1.1))
+            bounded = delta.evaluate_move(cand, d, bound=bound)
+            if exact < bound:
+                assert bounded == exact
+            else:
+                assert bounded == np.inf or bounded == exact
+
+    def test_batch_path_matches_scratch(self):
+        """Force the vectorized numpy batch (> _BATCH_MIN lanes) and pin it."""
+        rng = np.random.default_rng(9)
+        plat = tight_platform()
+        g = random_sp_graph(24, rng)
+        model = CostModel(g, plat, use_ckernel=False)
+        delta = DeltaEvaluator(model)
+        delta.reset(np.zeros(24, dtype=np.int64))
+        items = []
+        for _ in range(_BATCH_MIN + 40):
+            size = int(rng.integers(1, 6))
+            sub = rng.choice(24, size=size, replace=False)
+            items.append((delta.candidate(sub), int(rng.integers(3))))
+        res = delta.evaluate_moves(items)
+        for (cand, d), ms in zip(items, res):
+            trial = delta.mapping
+            trial[cand.members] = d
+            assert _same(ms, model._simulate_reference(trial))
+
+    def test_delta_needs_feasible_base(self):
+        g = TaskGraph()
+        g.add_task(0, area=100.0)
+        plat = tight_platform()
+        model = CostModel(g, plat)
+        with pytest.raises(ValueError):
+            DeltaEvaluator(model).reset([2])
+
+    def test_schedule_span(self):
+        pos = [3, 0, 2, 1]
+        assert schedule_span([0], pos) == (3, 3)
+        assert schedule_span([1, 2], pos) == (0, 2)
+        assert schedule_span([0, 1, 2, 3], pos) == (0, 3)
+
+
+# ---------------------------------------------------------------------------
+# mapper trajectories: delta path == legacy full-evaluation path
+# ---------------------------------------------------------------------------
+class _LegacyForced(DecompositionMapper):
+    """Overriding ``_objective`` (even trivially) disables the delta path."""
+
+    def _objective(self, evaluator, mapping):
+        return DecompositionMapper._objective(self, evaluator, mapping)
+
+
+class TestMapperTrajectories:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_first_fit_identical_to_legacy(self, seed):
+        self._check("series_parallel", "first_fit", seed)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_basic_identical_to_legacy(self, seed):
+        self._check("single_node", "basic", seed)
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_gamma_identical_to_legacy(self, seed):
+        self._check("series_parallel", "gamma", seed, gamma=2.0)
+
+    @staticmethod
+    def _check(strategy, heuristic, seed, **kw):
+        g = random_almost_sp_graph(22, 5, np.random.default_rng(seed))
+        ev1 = make_evaluator(g, paper_platform(), seed=seed, n_random=3)
+        ev2 = make_evaluator(g, paper_platform(), seed=seed, n_random=3)
+        fast = DecompositionMapper(strategy, heuristic, **kw).map(
+            ev1, rng=np.random.default_rng(seed)
+        )
+        legacy = _LegacyForced(strategy, heuristic, **kw).map(
+            ev2, rng=np.random.default_rng(seed)
+        )
+        np.testing.assert_array_equal(fast.mapping, legacy.mapping)
+        assert fast.makespan == legacy.makespan
+        assert fast.stats["iterations"] == legacy.stats["iterations"]
+
+
+# ---------------------------------------------------------------------------
+# bookkeeping: simulation / delta-evaluation counters
+# ---------------------------------------------------------------------------
+class TestCounters:
+    def test_mapper_stats_expose_both_counters(self, platform):
+        g = random_sp_graph(20, np.random.default_rng(3))
+        ev = make_evaluator(g, platform, n_random=3)
+        from repro.mappers import sp_first_fit
+
+        res = sp_first_fit().map(ev, rng=np.random.default_rng(0))
+        assert res.stats["n_delta_evaluations"] > 0
+        # fractional accounting: equivalent evaluations weight each delta
+        # evaluation by its suffix share, so full <= equivalent <= total
+        assert res.stats["n_equivalent_evaluations"] <= res.n_evaluations
+        assert res.n_evaluations == (
+            ev.n_full_simulations + ev.n_delta_evaluations
+        )
+
+    def test_infeasible_delta_moves_not_counted(self):
+        g = TaskGraph()
+        g.add_task(0, area=100.0)
+        g.add_task(1, area=1.0)
+        g.add_edge(0, 1, data_mb=1.0)
+        model = CostModel(g, tight_platform())
+        delta = DeltaEvaluator(model)
+        delta.reset([0, 0])
+        before = model.n_delta_evaluations
+        cand = delta.candidate([0])
+        assert delta.evaluate_move(cand, 2) == INFEASIBLE  # area 100 > 6
+        assert model.n_delta_evaluations == before
+
+    def test_evaluator_equivalent_evaluations(self, platform):
+        g = random_sp_graph(10, np.random.default_rng(1))
+        ev = make_evaluator(g, platform, n_random=2)
+        ev.construction_makespan(ev.cpu_mapping())
+        assert ev.n_equivalent_evaluations == ev.n_full_simulations == 1
+        assert ev.n_delta_evaluations == 0
+
+
+# ---------------------------------------------------------------------------
+# CachedEvaluator delegation hardening (repro.parallel round trip)
+# ---------------------------------------------------------------------------
+class TestCachedEvaluatorPickling:
+    def test_pickle_round_trip(self, platform):
+        g = random_sp_graph(12, np.random.default_rng(2))
+        cached = CachedEvaluator(make_evaluator(g, platform, n_random=2))
+        m = np.zeros(12, dtype=np.int64)
+        value = cached.construction_makespan(m)
+        clone = pickle.loads(pickle.dumps(cached))
+        assert clone.construction_makespan(m) == value
+        assert clone.model.simulate(m) == value
+
+    def test_getattr_does_not_recurse_without_inner(self):
+        # simulate pickle's probing of a half-constructed instance: any
+        # delegated lookup before _inner exists must fail cleanly (the
+        # old unguarded __getattr__ recursed via self._inner forever)
+        shell = CachedEvaluator.__new__(CachedEvaluator)
+        with pytest.raises(AttributeError):
+            shell.reported_makespan  # delegated; no _inner yet
+        with pytest.raises(AttributeError):
+            shell._inner
+        with pytest.raises(AttributeError):
+            shell.__wrapped_dunder__  # dunders must never delegate
+
+    def test_missing_attribute_raises_attribute_error(self, platform):
+        g = random_sp_graph(6, np.random.default_rng(4))
+        cached = CachedEvaluator(make_evaluator(g, platform, n_random=2))
+        with pytest.raises(AttributeError):
+            cached.definitely_not_an_attribute
+        assert not hasattr(cached, "nope")
+
+
+def _same(a: float, b: float) -> bool:
+    """Bit-identical comparison that treats INFEASIBLE/inf as equal."""
+    if np.isinf(a) or np.isinf(b):
+        return np.isinf(a) and np.isinf(b) and (a > 0) == (b > 0)
+    return a == b
