@@ -1,25 +1,42 @@
-"""Record evaluation-core micro-bench medians into ``BENCH_eval.json``.
+"""Record evaluation-core micro-bench medians into committed baselines.
 
-The committed ``BENCH_eval.json`` carries two sections:
+Two suites, selected with ``--suite``:
 
-- ``baseline`` — medians recorded on the *pre-kernel* (pure nested-list)
-  implementation, kept frozen as the reference the speedup claims in
-  ``benchmarks/test_micro.py`` are measured against;
+- ``eval`` (default, ``BENCH_eval.json``) — the PR-3 evaluation-core
+  benches: cost-model/suite evaluation and the greedy decomposition
+  mappers at n=50/200.  Its ``baseline`` section was recorded on the
+  *pre-kernel* (pure nested-list) implementation and cannot be
+  regenerated — it stays frozen.
+- ``meta`` (``BENCH_meta.json``) — the PR-4 metaheuristic benches:
+  NSGA-II / Pareto NSGA-II / tabu / annealing on the 50-task bench
+  graph, plus the reduced-budget ``nsgaii_smoke`` the CI perf gate
+  uses.  Recording ``--section baseline`` measures the **legacy scalar
+  paths** (``batch_eval=False`` / ``delta_eval=False`` — the pre-batch
+  implementations kept verbatim in the mappers), so the baseline is
+  reproducible; it is still ``--force``-guarded so the committed
+  pre-PR numbers are not silently overwritten by a faster/slower
+  machine.
+
+Each suite's file carries two sections:
+
+- ``baseline`` — frozen pre-PR medians, the reference all speedup
+  claims are measured against;
 - ``current`` — medians of the implementation as committed, refreshed
-  whenever the evaluation core changes (``python benchmarks/record.py``).
+  whenever the evaluation core changes.
 
-``--check KEY`` re-measures one entry on this machine and fails (exit 1)
-if it is more than ``--max-ratio`` times slower than the committed
-``current`` median — the CI perf-smoke gate uses this with
-``sp_first_fit_n200``.  A generous ratio (default 2x) absorbs machine
-variance while still catching an accidental return to quadratic-per-move
-scratch evaluation, which costs ~5x or more.
+``--check KEY`` re-measures one entry on this machine and fails
+(exit 1) if it is more than ``--max-ratio`` times slower than the
+committed ``current`` median — the CI perf-smoke gate uses this with
+``sp_first_fit_n200`` (eval) and ``nsgaii_smoke`` (meta).  Generous
+ratios absorb machine variance while still catching an accidental
+return to scalar per-genome evaluation, which costs ~5x or more.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record.py                  # refresh "current"
-    PYTHONPATH=src python benchmarks/record.py --section baseline
-    PYTHONPATH=src python benchmarks/record.py --check sp_first_fit_n200
+    PYTHONPATH=src python benchmarks/record.py                    # refresh eval "current"
+    PYTHONPATH=src python benchmarks/record.py --suite meta       # refresh meta "current"
+    PYTHONPATH=src python benchmarks/record.py --suite meta --section baseline --force
+    PYTHONPATH=src python benchmarks/record.py --suite meta --check nsgaii_smoke
 """
 
 from __future__ import annotations
@@ -33,7 +50,9 @@ from pathlib import Path
 
 import numpy as np
 
-BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_eval.json"
+_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = _ROOT / "BENCH_eval.json"
+BENCH_META_FILE = _ROOT / "BENCH_meta.json"
 
 #: (key, graph size, repeats) for every mapper measured at both sizes.
 MAPPER_SPECS = [
@@ -46,6 +65,20 @@ MAPPER_SPECS = [
     ("sn_first_fit", 200, 3),
     ("sp_first_fit", 200, 3),
 ]
+
+#: meta suite: key -> (graph size, repeats); the mapper (and its budget)
+#: for each key lives in ``_meta_mapper``.  ``scalar=True`` (baseline
+#: recording) selects the legacy scalar evaluation paths, which are the
+#: pre-batch implementations verbatim.
+META_SPECS = {
+    # paper budgets (Sec. IV-A: 500 generations x 100 individuals)
+    "nsgaii_n50": (50, 5),
+    "pareto_n50": (50, 3),
+    "tabu_n50": (50, 5),
+    "annealing_n50": (50, 5),
+    # reduced budget for the CI perf gate: 30 generations x 50 individuals
+    "nsgaii_smoke": (50, 5),
+}
 
 
 def _evaluator(n_tasks: int):
@@ -78,8 +111,31 @@ def _mapper_factory(key: str):
     return getattr(mappers, key)
 
 
+def _meta_mapper(key: str, scalar: bool):
+    from repro.mappers import (
+        NsgaIIMapper,
+        ParetoNsgaIIMapper,
+        SimulatedAnnealingMapper,
+        TabuSearchMapper,
+    )
+
+    if key == "nsgaii_n50":
+        return NsgaIIMapper(batch_eval=not scalar)
+    if key == "nsgaii_smoke":
+        return NsgaIIMapper(
+            generations=30, population_size=50, batch_eval=not scalar
+        )
+    if key == "pareto_n50":
+        return ParetoNsgaIIMapper(batch_eval=not scalar)
+    if key == "tabu_n50":
+        return TabuSearchMapper(delta_eval=not scalar)
+    if key == "annealing_n50":
+        return SimulatedAnnealingMapper(delta_eval=not scalar)
+    raise KeyError(f"unknown meta bench key {key!r}")
+
+
 def measure(key: str) -> float:
-    """Median wall-clock seconds for one named micro-bench."""
+    """Median wall-clock seconds for one named eval-suite micro-bench."""
     if key == "cost_model_eval_n50":
         ev = _evaluator(50)
         mapping = np.zeros(ev.n_tasks, dtype=np.int64)
@@ -100,26 +156,51 @@ def measure(key: str) -> float:
     raise KeyError(f"unknown bench key {key!r}")
 
 
-def all_keys():
+def measure_meta(key: str, *, scalar: bool = False) -> float:
+    """Median wall-clock seconds for one metaheuristic mapper bench."""
+    size, repeats = META_SPECS[key]
+    ev = _evaluator(size)
+
+    def run():
+        _meta_mapper(key, scalar).map(
+            ev, rng=np.random.default_rng(np.random.SeedSequence(42))
+        )
+
+    return _median_time(run, repeats)
+
+
+SUITES = {"eval": BENCH_FILE, "meta": BENCH_META_FILE}
+
+
+def all_keys(suite: str):
+    if suite == "meta":
+        yield from META_SPECS
+        return
     yield "cost_model_eval_n50"
     yield "suite_eval_n50"
     for name, size, _ in MAPPER_SPECS:
         yield f"{name}_n{size}"
 
 
-def load() -> dict:
-    if BENCH_FILE.exists():
-        return json.loads(BENCH_FILE.read_text())
+def load(path: Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text())
     return {"schema": 1, "units": "seconds_median", "baseline": {}, "current": {}}
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--suite",
+        default="eval",
+        choices=sorted(SUITES),
+        help="bench suite: 'eval' (BENCH_eval.json) or 'meta' (BENCH_meta.json)",
+    )
+    parser.add_argument(
         "--section",
         default="current",
         choices=["current", "baseline"],
-        help="which section of BENCH_eval.json to (re)record",
+        help="which section of the bench file to (re)record",
     )
     parser.add_argument(
         "--check",
@@ -139,13 +220,18 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    bench_file = SUITES[args.suite]
+    meta = args.suite == "meta"
+
     if args.check:
-        data = load()
+        data = load(bench_file)
         committed = data.get("current", {}).get("measures", {}).get(args.check)
         if committed is None:
             print(f"no committed 'current' median for {args.check!r}", file=sys.stderr)
             return 2
-        measured = measure(args.check)
+        measured = (
+            measure_meta(args.check) if meta else measure(args.check)
+        )
         ratio = measured / committed
         print(
             f"{args.check}: measured {measured * 1e3:.2f} ms vs committed "
@@ -156,30 +242,47 @@ def main(argv=None) -> int:
             return 1
         return 0
 
-    data = load()
+    data = load(bench_file)
     if (
         args.section == "baseline"
         and data.get("baseline", {}).get("measures")
         and not args.force
     ):
+        if meta:
+            reason = (
+                "it records the committed pre-PR scalar-path medians"
+                " (re-measurable, but frozen as the speedup reference)"
+            )
+        else:
+            reason = (
+                "it was recorded on the original nested-list implementation"
+                " and cannot be regenerated"
+            )
         print(
-            "refusing to overwrite the frozen pre-kernel 'baseline' section:"
-            " it was recorded on the original nested-list implementation and"
-            " cannot be regenerated (pass --force if you really mean it)",
+            f"refusing to overwrite the frozen 'baseline' section: {reason}"
+            " (pass --force if you really mean it)",
             file=sys.stderr,
         )
         return 2
+    scalar = meta and args.section == "baseline"
     measures = {}
-    for key in all_keys():
-        measures[key] = measure(key)
+    for key in all_keys(args.suite):
+        measures[key] = (
+            measure_meta(key, scalar=scalar) if meta else measure(key)
+        )
         print(f"{key:>24s}: {measures[key] * 1e3:9.3f} ms")
     data[args.section] = {
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "measures": measures,
     }
-    BENCH_FILE.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    print(f"wrote section {args.section!r} to {BENCH_FILE}")
+    if meta and args.section == "baseline":
+        data["baseline"]["note"] = (
+            "legacy scalar paths: batch_eval=False / delta_eval=False"
+            " (the pre-batch implementations, kept verbatim)"
+        )
+    bench_file.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote section {args.section!r} to {bench_file}")
     return 0
 
 

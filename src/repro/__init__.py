@@ -51,7 +51,7 @@ True
 
 from . import evaluation, graphs, mappers, parallel, platform, runtime, sp
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "evaluation", "graphs", "mappers", "parallel", "platform", "runtime",

@@ -22,11 +22,25 @@ test-suite to cover both paths).
 
 Exposed entry points (see the C source below for contracts):
 
-- ``repro_span``      — full scratch simulation into caller buffers;
-- ``repro_rebuild``   — scratch simulation recording per-position
+- ``repro_span``       — full scratch simulation into caller buffers;
+- ``repro_span_batch`` — lane loop over a whole ``(B, n)`` population:
+  one native call simulates every mapping back to back, so the Python
+  call overhead (argument marshalling, pointer extraction — an order of
+  magnitude more than the n=50 simulation itself) is paid once per
+  *population* instead of once per genome;
+- ``repro_span_batch_dedup`` — the lane loop plus in-kernel genome
+  dedup (open-addressing table, duplicates verified by full row
+  comparison) and per-lane feasibility skipping, so a converged
+  population costs one simulation per *distinct* feasible genome and
+  the Python side is a single call with no grouping work;
+- ``repro_rebuild``    — scratch simulation recording per-position
   prefix snapshots (slot availability + running makespan) for the
   incremental evaluator;
-- ``repro_eval_move`` — suffix-only re-simulation of one candidate
+- ``repro_rebuild_from`` — the same recording walk resumed from a
+  position whose prefix snapshots are still valid, so committing an
+  accepted move costs O(affected suffix) instead of O(V + E) (the
+  tabu/annealing accept path);
+- ``repro_eval_move``  — suffix-only re-simulation of one candidate
   move against the snapshotted base, with bound-abort.
 """
 
@@ -204,6 +218,127 @@ double repro_rebuild(const ReproCtx *c, const ReproDelta *d,
     return makespan;
 }
 
+/* Suffix-only commit: resume the recording rebuild from position k —
+ * the prefix snapshots, start/finish and pre_ms entries before k are
+ * already valid for the (just mutated) base mapping, because a move
+ * whose first affected position is k cannot change state before k.
+ * Identical loop body to repro_rebuild, so the suffix values are
+ * bit-identical to a full rebuild's. */
+double repro_rebuild_from(const ReproCtx *c, const ReproDelta *d, int64_t k,
+                          double *start, double *finish,
+                          double *snap_avail, double *pre_ms, double *avail)
+{
+    const int64_t n = c->n, m = c->m, n_slots = c->n_slots;
+    const int64_t *mapping = d->mapping;
+    const int64_t *order = d->order;
+    for (int64_t s = 0; s < n_slots; s++)
+        avail[s] = snap_avail[k * n_slots + s];
+    double makespan = pre_ms[k];
+    for (int64_t j = k; j < n; j++) {
+        for (int64_t s = 0; s < n_slots; s++)
+            snap_avail[j * n_slots + s] = avail[s];
+        pre_ms[j] = makespan;
+        const int64_t i = order[j];
+        const int64_t d_ = mapping[i];
+        const int64_t row = i * m;
+        double ready = c->initial_t[row + d_];
+        double drain = 0.0;
+        const int64_t e1 = c->pred_ptr[i + 1];
+        for (int64_t e = c->pred_ptr[i]; e < e1; e++) {
+            const int64_t p = c->pred_src[e];
+            const int64_t dp = mapping[p];
+            double r;
+            if (dp == d_ && c->streaming[d_]) {
+                r = start[p] + c->fill_t[p * m + dp];
+                if (finish[p] > drain) drain = finish[p];
+            } else {
+                r = finish[p] + c->pred_trans[e * m * m + dp * m + d_];
+            }
+            if (r > ready) ready = r;
+        }
+        double st = ready;
+        int64_t slot = -1;
+        if (c->serializes[d_]) {
+            const int64_t s0 = c->slot_ptr[d_], s1 = c->slot_ptr[d_ + 1];
+            slot = s0;
+            double earliest = avail[s0];
+            for (int64_t q = s0 + 1; q < s1; q++) {
+                if (avail[q] < earliest) { earliest = avail[q]; slot = q; }
+            }
+            if (earliest > ready) st = earliest;
+        }
+        double fin = st + c->exec_t[row + d_];
+        if (drain > fin) fin = drain;
+        start[i] = st;
+        finish[i] = fin;
+        if (slot >= 0) avail[slot] = fin;
+        const double end = fin + c->final_t[row + d_];
+        if (end > makespan) makespan = end;
+    }
+    return makespan;
+}
+
+/* Multi-lane entry: simulate B independent mappings (rows of a dense
+ * (B, n) int64 array) under one shared order.  Lanes reuse the same
+ * start/finish/avail workspaces (repro_span zeroes them per lane), so
+ * each lane is exactly one repro_span call — results are bit-identical
+ * to B scalar simulations, the loop only amortizes call overhead. */
+void repro_span_batch(const ReproCtx *c, const int64_t *mappings,
+                      const int64_t *order, int64_t n_lanes, double *out,
+                      double *start, double *finish, double *avail,
+                      int contention)
+{
+    for (int64_t b = 0; b < n_lanes; b++) {
+        out[b] = repro_span(c, mappings + b * c->n, order,
+                            start, finish, avail, contention);
+    }
+}
+
+/* Batch entry with in-kernel genome dedup: lanes whose row equals an
+ * earlier feasible lane's row copy that lane's makespan instead of
+ * re-simulating (exact-value sharing — duplicates are verified by full
+ * row comparison after a 64-bit FNV-1a probe, so a hash collision costs
+ * a probe step, never a wrong value).  `feas` (optional, may be NULL)
+ * marks lanes that already failed the caller's area check: they get
+ * INFINITY and do not enter the table.  `table` is caller-provided
+ * open-addressing workspace of `table_size` (power of two, >= 2*B)
+ * int64 slots.  Returns the number of lanes actually simulated. */
+int64_t repro_span_batch_dedup(const ReproCtx *c, const int64_t *mappings,
+                               const int64_t *order, int64_t n_lanes,
+                               const uint8_t *feas, double *out,
+                               int64_t *table, int64_t table_size,
+                               double *start, double *finish, double *avail,
+                               int contention)
+{
+    const int64_t n = c->n;
+    const uint64_t mask = (uint64_t)table_size - 1;
+    for (int64_t t = 0; t < table_size; t++) table[t] = 0;
+    int64_t simulated = 0;
+    for (int64_t b = 0; b < n_lanes; b++) {
+        if (feas && !feas[b]) { out[b] = INFINITY; continue; }
+        const int64_t *row = mappings + b * n;
+        uint64_t h = 1469598103934665603ULL;
+        for (int64_t i = 0; i < n; i++)
+            h = (h ^ (uint64_t)row[i]) * 1099511628211ULL;
+        uint64_t idx = h & mask;
+        int64_t dup = -1;
+        for (;;) {
+            const int64_t entry = table[idx];
+            if (entry == 0) { table[idx] = b + 1; break; }
+            const int64_t *row0 = mappings + (entry - 1) * n;
+            int same = 1;
+            for (int64_t i = 0; i < n; i++)
+                if (row0[i] != row[i]) { same = 0; break; }
+            if (same) { dup = entry - 1; break; }
+            idx = (idx + 1) & mask;
+        }
+        if (dup >= 0) { out[b] = out[dup]; continue; }
+        out[b] = repro_span(c, row, order, start, finish, avail, contention);
+        simulated++;
+    }
+    return simulated;
+}
+
 double repro_eval_move(const ReproCtx *c, const ReproDelta *d,
                        const int64_t *sub, int64_t sub_len, int64_t device,
                        int64_t k, double bound)
@@ -279,8 +414,46 @@ class CKernel:
         vp = ctypes.c_void_p
         lib.repro_span.restype = ctypes.c_double
         lib.repro_span.argtypes = [vp, vp, vp, vp, vp, vp, ctypes.c_int]
+        lib.repro_span_batch.restype = None
+        lib.repro_span_batch.argtypes = [
+            vp,
+            vp,
+            vp,
+            ctypes.c_int64,
+            vp,
+            vp,
+            vp,
+            vp,
+            ctypes.c_int,
+        ]
+        lib.repro_span_batch_dedup.restype = ctypes.c_int64
+        lib.repro_span_batch_dedup.argtypes = [
+            vp,
+            vp,
+            vp,
+            ctypes.c_int64,
+            vp,
+            vp,
+            vp,
+            ctypes.c_int64,
+            vp,
+            vp,
+            vp,
+            ctypes.c_int,
+        ]
         lib.repro_rebuild.restype = ctypes.c_double
         lib.repro_rebuild.argtypes = [vp, vp, vp, vp, vp, vp, vp]
+        lib.repro_rebuild_from.restype = ctypes.c_double
+        lib.repro_rebuild_from.argtypes = [
+            vp,
+            vp,
+            ctypes.c_int64,
+            vp,
+            vp,
+            vp,
+            vp,
+            vp,
+        ]
         lib.repro_eval_move.restype = ctypes.c_double
         lib.repro_eval_move.argtypes = [
             vp,
@@ -351,6 +524,13 @@ class CKernel:
         )
 
 
+#: compile flags (part of the .so cache key, so changing them recompiles).
+#: -O3/-funroll-loops only reorder integer/branch work; float semantics
+#: stay strict IEEE (-ffp-contract=off, fast-math never passed), so the
+#: optimized build remains bit-identical to the Python kernel.
+_CFLAGS = ["-O3", "-funroll-loops", "-fPIC", "-shared", "-ffp-contract=off"]
+
+
 def _cache_dir() -> str:
     base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
         os.path.expanduser("~"), ".cache"
@@ -373,18 +553,7 @@ def _compile(src_hash: str) -> Optional[str]:
                     fh.write(_C_SOURCE)
                 tmp_so = os.path.join(tmp, "kernel.so")
                 subprocess.run(
-                    [
-                        cc,
-                        "-O2",
-                        "-fPIC",
-                        "-shared",
-                        # bit-exactness vs CPython floats: no contraction,
-                        # no fast-math (never passed), strict IEEE doubles
-                        "-ffp-contract=off",
-                        "-o",
-                        tmp_so,
-                        c_path,
-                    ],
+                    [cc, *_CFLAGS, "-o", tmp_so, c_path],
                     check=True,
                     capture_output=True,
                     timeout=120,
@@ -409,7 +578,7 @@ def load_ckernel() -> Optional[CKernel]:
     if os.environ.get("REPRO_PURE_PYTHON"):
         return None
     src_hash = hashlib.sha256(
-        (_C_SOURCE + sys.version.split()[0]).encode()
+        (_C_SOURCE + " ".join(_CFLAGS) + sys.version.split()[0]).encode()
     ).hexdigest()[:16]
     so_path = _compile(src_hash)
     if so_path is None:

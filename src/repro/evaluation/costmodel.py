@@ -41,18 +41,30 @@ Evaluation architecture (kernel + delta):
   end)`` under the fixed BFS schedule and re-simulates **only the suffix**
   from the first schedule position a move touches — O(affected suffix)
   instead of O(V + E) per candidate move;
-- exactness contract: kernel and delta evaluation perform bit-for-bit the
-  same float64 operations in the same order as the original nested-list
-  walk (kept as :meth:`_simulate_reference` and pinned by
-  ``tests/test_kernel_delta.py``) — they are optimizations, never
+- the population-based mappers (NSGA-II, Pareto NSGA-II) go through
+  :meth:`simulate_many`, which evaluates an arbitrary ``(P, n)`` array of
+  mappings in one call: vectorized (guard-banded, decision-exact) area
+  feasibility over the whole population, then the C kernel's
+  ``repro_span_batch_dedup`` entry (lane loop + in-kernel genome dedup +
+  infeasible-lane skipping) or, pure-Python, the lockstep numpy batch
+  kernel — Python/ctypes dispatch, the dominant cost of a scalar n=50
+  evaluation, is paid once per population instead of once per genome;
+- exactness contract: kernel, delta and population-batch evaluation
+  perform bit-for-bit the same float64 operations in the same order as
+  the original nested-list walk (kept as :meth:`_simulate_reference` and
+  pinned by ``tests/test_kernel_delta.py`` /
+  ``tests/test_batch_population.py``) — they are optimizations, never
   approximations.
 
 Bookkeeping: ``n_simulations`` counts full scratch simulations (one per
 :meth:`simulate` call, as before); ``n_delta_evaluations`` counts
 incremental suffix re-evaluations and ``delta_work`` accumulates their
-cost in full-evaluation equivalents (suffix length / n), so
-``n_simulations + delta_work`` is the model-evaluation effort in units of
-one O(V + E) pass.
+cost in full-evaluation equivalents (suffix length / n);
+``n_batched_evaluations`` counts lanes evaluated through
+:meth:`simulate_many` (each a full pass) and ``n_batch_calls`` the calls,
+so ``n_batched_evaluations / n_batch_calls`` is the realized mean batch
+width.  ``n_simulations + delta_work + n_batched_evaluations`` is the
+model-evaluation effort in units of one O(V + E) pass.
 """
 
 from __future__ import annotations
@@ -66,12 +78,27 @@ from ..graphs.taskgraph import DEFAULT_DATA_MB, TaskGraph
 from ..platform.platform import Platform
 from ..platform.taskmodel import exec_time_table
 from ._ckernel import load_ckernel
-from .kernel import FlatModel, simulate_flat
+from .kernel import FlatModel, simulate_flat, simulate_population
 
 __all__ = ["CostModel", "INFEASIBLE"]
 
 #: Makespan reported for mappings that violate a hard constraint.
 INFEASIBLE = float("inf")
+
+#: Width of the guard band around the area-tolerance threshold within
+#: which a vectorized (matmul) area sum is re-derived from an exact
+#: scratch sum so the feasibility *decision* always matches the scalar
+#: :meth:`CostModel.is_feasible` check.  Vectorized vs scratch float
+#: error is bounded by a few n*ulp — many orders of magnitude below this
+#: — so outside the band both sums land on the same side of the
+#: threshold.  (Shared with :mod:`repro.evaluation.delta`.)
+AREA_BAND = 1e-6
+
+#: Below this many feasible lanes the pure-Python population path falls
+#: back to per-row scalar simulation: the lockstep numpy kernel pays
+#: ~25 us of call overhead per schedule position regardless of width,
+#: vs ~2 us per position per lane for the scalar loop.
+_POP_BATCH_MIN = 16
 
 
 class CostModel:
@@ -167,9 +194,9 @@ class CostModel:
         )
 
         # --- compiled kernel (optional, bit-identical) -------------------
+        self.bfs_order_np = np.asarray(self.bfs_order, dtype=np.int64)
         self._use_ckernel = use_ckernel
         self._init_ckernel(use_ckernel)
-        self.bfs_order_np = np.asarray(self.bfs_order, dtype=np.int64)
 
         #: number of full makespan simulations performed (harness stats)
         self.n_simulations = 0
@@ -177,6 +204,12 @@ class CostModel:
         self.n_delta_evaluations = 0
         #: delta effort in full-evaluation equivalents (suffix length / n)
         self.delta_work = 0.0
+        #: lanes evaluated through the population entry (simulate_many);
+        #: each lane is one full pass, counted here instead of
+        #: ``n_simulations`` so callers can prove the batch path is taken
+        self.n_batched_evaluations = 0
+        #: number of simulate_many calls that simulated at least one lane
+        self.n_batch_calls = 0
 
     # ------------------------------------------------------------------
     def _init_ckernel(self, use_ckernel: Optional[bool]) -> None:
@@ -195,12 +228,24 @@ class CostModel:
         self._ws_start = np.empty(self.n)
         self._ws_finish = np.empty(self.n)
         self._ws_avail = np.empty(max(1, self.flat.n_slots))
+        # raw data pointers cached once: ndarray.ctypes.data costs ~1 us
+        # per access, which would dominate a batched call
+        self._ws_start_p = self._ws_start.ctypes.data
+        self._ws_finish_p = self._ws_finish.ctypes.data
+        self._ws_avail_p = self._ws_avail.ctypes.data
+        self._bfs_order_p = self.bfs_order_np.ctypes.data
+        self._span_batch_c = ck.lib.repro_span_batch
+        self._span_batch_dedup_c = ck.lib.repro_span_batch_dedup
+        self._dedup_table: Optional[np.ndarray] = None
 
     # -- pickling: ctypes handles cannot cross process boundaries --------
     def __getstate__(self):
         state = self.__dict__.copy()
         for key in ("_ck", "_ck_ctx", "_ck_ctx_p", "_ws_start",
-                    "_ws_finish", "_ws_avail"):
+                    "_ws_finish", "_ws_avail", "_ws_start_p",
+                    "_ws_finish_p", "_ws_avail_p", "_bfs_order_p",
+                    "_span_batch_c", "_span_batch_dedup_c",
+                    "_dedup_table"):
             state.pop(key, None)
         return state
 
@@ -232,6 +277,148 @@ class CostModel:
         """True iff all device area budgets are respected."""
         usage = self.area_usage(mapping)
         return all(usage[d] <= self._area_limits[d] + 1e-9 for d in usage)
+
+    def feasible_mask(self, mappings: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_feasible` over the rows of ``(P, n)``.
+
+        Per-device usage comes from one matmul over the whole population;
+        rows whose vectorized sum falls within :data:`AREA_BAND` of the
+        tolerance threshold are re-derived from the exact scratch sum
+        (same float summation order as :meth:`area_usage`), so every
+        row's *decision* matches the scalar check exactly.
+        """
+        mask = None
+        area = self._area
+        for d, capacity in self._area_limits.items():
+            usage = (mappings == d) @ area
+            limit = capacity + 1e-9
+            band = AREA_BAND * max(1.0, abs(limit))
+            close = np.abs(usage - limit) <= band
+            if close.any():
+                for r in np.flatnonzero(close):
+                    usage[r] = area[mappings[r] == d].sum()
+            ok = usage <= limit
+            mask = ok if mask is None else mask & ok
+        if mask is None:
+            return np.ones(len(mappings), dtype=bool)
+        return mask
+
+    def simulate_many(
+        self,
+        mappings: np.ndarray,
+        order: Optional[Sequence[int]] = None,
+        *,
+        check_feasibility: bool = True,
+        contention: bool = True,
+        dedup: bool = False,
+    ) -> np.ndarray:
+        """Makespans of every row of a ``(P, n)`` array of mappings.
+
+        The multi-lane entry behind
+        :meth:`~repro.evaluation.evaluator.MappingEvaluator.construction_makespans`:
+        one call evaluates a whole population.  With the C kernel loaded
+        the rows run through the native ``repro_span_batch`` lane loop
+        (one ctypes call per population instead of one per genome); the
+        pure-Python path uses the lockstep numpy batch kernel
+        (:func:`repro.evaluation.kernel.simulate_population`), falling
+        back to per-row scalar simulation below ``_POP_BATCH_MIN`` lanes.
+        Every lane is bit-identical to a scalar :meth:`simulate` of that
+        row (:data:`INFEASIBLE` for rows failing the area check).
+
+        With ``dedup=True`` (and the C kernel loaded) lanes run through
+        ``repro_span_batch_dedup``: identical rows are simulated once and
+        share the exact value (verified by full row comparison in the
+        kernel), and only the *distinct* simulated lanes count toward
+        ``n_batched_evaluations``.  On the pure-Python path ``dedup`` is
+        ignored here — :meth:`MappingEvaluator.construction_makespans`
+        performs the equivalent vectorized dedup before calling in.
+
+        Lanes count toward ``n_batched_evaluations`` (not
+        ``n_simulations``) and each call toward ``n_batch_calls``.
+        """
+        pop = np.ascontiguousarray(mappings, dtype=np.int64)
+        if pop.ndim != 2 or pop.shape[1] != self.n:
+            raise ValueError(
+                f"expected a (P, {self.n}) array of mappings, got {pop.shape}"
+            )
+        if pop.shape[0] == 0:
+            return np.empty(0)
+        if order is None:
+            order_p = self._bfs_order_p if self._ck is not None else None
+        elif self._ck is not None:
+            order_np = np.ascontiguousarray(order, dtype=np.int64)
+            order_p = order_np.ctypes.data
+        if self._ck is not None and dedup:
+            feas_p = 0
+            if check_feasibility:
+                feas = self.feasible_mask(pop)
+                if not feas.any():
+                    return np.full(pop.shape[0], INFEASIBLE)
+                feas_p = feas.view(np.uint8).ctypes.data
+            n_lanes = pop.shape[0]
+            res = np.empty(n_lanes)
+            table_size = 1 << (2 * n_lanes - 1).bit_length()
+            if self._dedup_table is None or len(self._dedup_table) < table_size:
+                self._dedup_table = np.empty(table_size, dtype=np.int64)
+            simulated = self._span_batch_dedup_c(
+                self._ck_ctx_p,
+                pop.ctypes.data,
+                order_p,
+                n_lanes,
+                feas_p,
+                res.ctypes.data,
+                self._dedup_table.ctypes.data,
+                table_size,
+                self._ws_start_p,
+                self._ws_finish_p,
+                self._ws_avail_p,
+                1 if contention else 0,
+            )
+            if simulated:
+                self.n_batched_evaluations += simulated
+                self.n_batch_calls += 1
+            return res
+        idx = None
+        if check_feasibility:
+            feas = self.feasible_mask(pop)
+            if not feas.all():
+                out = np.full(pop.shape[0], INFEASIBLE)
+                idx = np.flatnonzero(feas)
+                if idx.size == 0:
+                    return out
+                pop = np.ascontiguousarray(pop[idx])
+        n_lanes = pop.shape[0]
+        self.n_batched_evaluations += n_lanes
+        self.n_batch_calls += 1
+        res = np.empty(n_lanes)
+        if self._ck is not None:
+            self._span_batch_c(
+                self._ck_ctx_p,
+                pop.ctypes.data,
+                order_p,
+                n_lanes,
+                res.ctypes.data,
+                self._ws_start_p,
+                self._ws_finish_p,
+                self._ws_avail_p,
+                1 if contention else 0,
+            )
+        else:
+            ord_l = self.bfs_order if order is None else [int(i) for i in order]
+            if n_lanes >= _POP_BATCH_MIN:
+                res = simulate_population(
+                    self.flat, pop, ord_l, contention=contention
+                )
+            else:
+                for b in range(n_lanes):
+                    res[b] = simulate_flat(
+                        self.flat, pop[b].tolist(), ord_l,
+                        contention=contention,
+                    )
+        if idx is None:
+            return res
+        out[idx] = res
+        return out
 
     # ------------------------------------------------------------------
     # simulation

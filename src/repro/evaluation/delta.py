@@ -27,10 +27,16 @@ falling within a tiny band of the tolerance threshold is re-derived from
 an exact scratch sum, so the feasibility *decision* always matches
 ``CostModel.is_feasible`` exactly.
 
-Bookkeeping: every suffix re-simulation increments
-``model.n_delta_evaluations`` and adds ``suffix_length / n`` to
-``model.delta_work`` (full-evaluation equivalents); base rebuilds are
-full simulations and count toward ``model.n_simulations``.
+Committing an accepted move is suffix-sized too: :meth:`apply_move`
+with the candidate's ``first_pos`` resumes the recording rebuild from
+that position (``repro_rebuild_from`` / the mirrored Python walk) —
+the prefix snapshots are still valid, so the tabu/annealing accept
+path never pays a full O(V + E) rebuild.
+
+Bookkeeping: every suffix re-simulation (and every suffix commit)
+increments ``model.n_delta_evaluations`` and adds ``suffix_length / n``
+to ``model.delta_work`` (full-evaluation equivalents); full base
+rebuilds count toward ``model.n_simulations``.
 """
 
 from __future__ import annotations
@@ -40,7 +46,7 @@ from typing import List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from ..sp.subgraphs import schedule_span
-from .costmodel import INFEASIBLE, CostModel
+from .costmodel import AREA_BAND, INFEASIBLE, CostModel
 from .kernel import INF, simulate_batch, simulate_span
 
 __all__ = ["Candidate", "DeltaEvaluator"]
@@ -59,8 +65,9 @@ class Candidate(NamedTuple):
 #: which the incremental sum falls back to an exact scratch recount.
 #: Incremental vs scratch float error is bounded by a few n*ulp —
 #: many orders of magnitude below this — so outside the band both sums
-#: are on the same side of the threshold.
-_AREA_BAND = 1e-6
+#: are on the same side of the threshold.  (One constant shared with
+#: ``CostModel.feasible_mask``'s vectorized population check.)
+_AREA_BAND = AREA_BAND
 
 #: Below this many lanes a vectorized batch loses to scalar suffix evals:
 #: the batch kernel pays ~25 us of numpy call overhead per schedule
@@ -456,18 +463,134 @@ class DeltaEvaluator:
         return res
 
     # ------------------------------------------------------------------
-    def apply_move(self, sub_list: List[int], device: int) -> float:
+    def apply_move(
+        self,
+        sub_list: List[int],
+        device: int,
+        *,
+        first_pos: Optional[int] = None,
+    ) -> float:
         """Commit a move to the base mapping and rebuild the snapshots.
 
-        One O(V + E) rebuild per *applied* move (once per greedy
-        iteration) — the per-candidate work stays suffix-sized.
+        With ``first_pos`` (the candidate's first schedule position, from
+        :meth:`candidate`) the rebuild resumes from that position — the
+        prefix snapshots are still valid, so a commit costs O(affected
+        suffix); suffix values are bit-identical to a full rebuild
+        (``repro_rebuild_from`` / the mirrored Python walk).  Without it
+        a full O(V + E) recording rebuild runs, as before.
         """
         for t in sub_list:
             self._map[t] = device
         self._np_map[sub_list] = device
-        usage = self.model.area_usage(self._np_map)
-        self._usage = [usage[d] for d in self._area_devs]
-        return self._rebuild()
+        # exact scratch recount per area device (same summation order as
+        # area_usage, without the dict round trip — apply_move runs once
+        # per accepted SA/tabu move, so this is warm-path code)
+        area = self.model._area  # noqa: SLF001
+        np_map = self._np_map
+        self._usage = [float(area[np_map == a].sum()) for a in self._area_devs]
+        if first_pos is None or first_pos <= 0:
+            return self._rebuild()
+        return self._rebuild_from(first_pos)
+
+    def _rebuild_from(self, k: int) -> float:
+        """Recording rebuild resumed at position ``k`` (prefix untouched).
+
+        Counts as an incremental evaluation (``n_delta_evaluations`` /
+        fractional ``delta_work``), not a full simulation.
+        """
+        model = self.model
+        model.n_delta_evaluations += 1
+        model.delta_work += (self.n - k) / self.n
+        if self._ck is not None:
+            self.base_makespan = self._ck.lib.repro_rebuild_from(
+                self._ctx_p,
+                self._dctx_p,
+                k,
+                self._start_np.ctypes.data,
+                self._finish_np.ctypes.data,
+                self._snap_np.ctypes.data,
+                self._pre_ms_np.ctypes.data,
+                self._avail_ws.ctypes.data,
+            )
+            return self.base_makespan
+        flat = self.flat
+        order = self.order
+        mapping = self._map
+        m = flat.m
+        exec_l = flat.exec_l
+        fill_l = flat.fill_l
+        initial_l = flat.initial_l
+        final_l = flat.final_l
+        pred_l = flat.pred_l
+        streaming = flat.streaming_l
+        serializes = flat.serializes_l
+        slot_ptr = flat.slot_ptr_l
+
+        start = self._start
+        finish = self._finish
+        snap_avail = self._snap_avail
+        pre_ms = self._pre_ms
+        avail = snap_avail[k].copy()
+        makespan = pre_ms[k]
+
+        for j in range(k, self.n):
+            snap_avail[j] = avail.copy()
+            pre_ms[j] = makespan
+            i = order[j]
+            d = mapping[i]
+            row = i * m
+            ready = initial_l[row + d]
+            drain = 0.0
+            for p, trans in pred_l[i]:
+                dp = mapping[p]
+                if dp == d and streaming[d]:
+                    r = start[p] + fill_l[p * m + dp]
+                    fp = finish[p]
+                    if fp > drain:
+                        drain = fp
+                else:
+                    r = finish[p] + trans[dp * m + d]
+                if r > ready:
+                    ready = r
+            st = ready
+            slot = -1
+            if serializes[d]:
+                s0 = slot_ptr[d]
+                s1 = slot_ptr[d + 1]
+                slot = s0
+                earliest = avail[s0]
+                for q in range(s0 + 1, s1):
+                    v = avail[q]
+                    if v < earliest:
+                        earliest = v
+                        slot = q
+                if earliest > ready:
+                    st = earliest
+            fin = st + exec_l[row + d]
+            if drain > fin:
+                fin = drain
+            start[i] = st
+            finish[i] = fin
+            if slot >= 0:
+                avail[slot] = fin
+            end = fin + final_l[row + d]
+            if end > makespan:
+                makespan = end
+
+        # refresh the suffix of the trial mirrors and numpy views
+        ts = self._tstart
+        tf = self._tfinish
+        for j in range(k, self.n):
+            i = order[j]
+            ts[i] = start[i]
+            tf[i] = finish[i]
+        np.copyto(self._start_np, start)
+        np.copyto(self._finish_np, finish)
+        if self.flat.n_slots:
+            np.copyto(self._snap_np, snap_avail)
+        np.copyto(self._pre_ms_np, pre_ms)
+        self.base_makespan = makespan
+        return makespan
 
     # ------------------------------------------------------------------
     @property

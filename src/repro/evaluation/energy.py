@@ -14,11 +14,18 @@ processor (18 W vs 155/210 W), and faster makespans reduce the idle floor —
 so makespan and energy are correlated but *not* aligned: the GPU often wins
 time while losing energy, which is exactly the tension a multi-objective
 mapper has to expose (see :mod:`repro.mappers.multiobjective`).
+
+:meth:`EnergyModel.energy` is the Pareto NSGA-II fitness hot path (one
+call per distinct genome per generation), so it runs on flat Python
+lists precomputed at construction — the same accumulation order as the
+original table-walking loop (kept as :meth:`EnergyModel._energy_reference`
+and pinned bit-for-bit by ``tests/test_batch_population.py``), an
+optimization, never an approximation.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +52,30 @@ class EnergyModel:
         self._idle_total = float(sum(d.watts_idle for d in platform.devices))
         # per-task compute energy per device: exec * active watts
         self._compute = model.exec_table * np.asarray(self._active)[None, :]
+        # flat mirrors for the fast path: plain Python lists, walked in
+        # exactly the reference loop's order (see module docstring)
+        self._compute_l: List[List[float]] = self._compute.tolist()
+        g = model.graph
+        tasks = model.tasks
+        self._host = model.platform.host_index
+        #: per task: [(pred_index, edge data_mb), ...] in CostModel._pred order
+        self._edges_l: List[List[Tuple[int, float]]] = [
+            [
+                (p, g.data_mb(tasks[p], t))
+                for p, _ in model._pred[i]  # noqa: SLF001
+            ]
+            for i, t in enumerate(tasks)
+        ]
+        #: per task: input volume if a source else None / return volume if a sink
+        self._input_l: List[Optional[float]] = [
+            g.input_mb(t) if g.in_degree(t) == 0 else None for t in tasks
+        ]
+        self._sink_l: List[Optional[float]] = [
+            model._sink_return_mb(t)  # noqa: SLF001
+            if g.out_degree(t) == 0
+            else None
+            for t in tasks
+        ]
 
     def energy(
         self,
@@ -56,7 +87,53 @@ class EnergyModel:
         """Total energy (J) of one run; INFEASIBLE if area is violated.
 
         ``makespan`` may be passed to reuse an already-computed value;
-        otherwise the BFS-schedule makespan is simulated.
+        otherwise the BFS-schedule makespan is simulated.  Accumulation
+        order is bit-identical to :meth:`_energy_reference`.
+        """
+        model = self.model
+        if check_feasibility and not model.is_feasible(mapping):
+            return INFEASIBLE
+        if isinstance(mapping, np.ndarray):
+            mapping = mapping.tolist()
+        else:
+            mapping = list(mapping)
+        if makespan is None:
+            makespan = model.simulate(mapping, check_feasibility=False)
+        # one fused pass: `total` still receives all compute terms first
+        # (in task order) and `transfer_mb` accumulates in the reference
+        # loop's edge order — separate accumulators, so interleaving the
+        # passes changes neither accumulation order
+        compute = self._compute_l
+        total = 0.0
+        transfer_mb = 0.0
+        host = self._host
+        input_l = self._input_l
+        sink_l = self._sink_l
+        for i, edges in enumerate(self._edges_l):
+            d = mapping[i]
+            total += compute[i][d]
+            for p, mb in edges:
+                if mapping[p] != d:
+                    transfer_mb += mb
+            if input_l[i] is not None and d != host:
+                transfer_mb += input_l[i]
+            if sink_l[i] is not None and d != host:
+                transfer_mb += sink_l[i]
+        total += transfer_mb * JOULES_PER_MB
+        total += makespan * self._idle_total
+        return total
+
+    def _energy_reference(
+        self,
+        mapping: Sequence[int],
+        *,
+        makespan: Optional[float] = None,
+        check_feasibility: bool = True,
+    ) -> float:
+        """The original table-walking loop, kept as the executable spec.
+
+        :meth:`energy` must reproduce it bit-for-bit
+        (``tests/test_batch_population.py``); not used on any hot path.
         """
         model = self.model
         if check_feasibility and not model.is_feasible(mapping):

@@ -22,6 +22,16 @@ position 0) and incremental suffix re-simulation
 (:mod:`repro.evaluation.delta`) — which makes the scratch/delta exactness
 contract structural: both run literally the same statements.
 
+While tasks cannot be vectorized, independent *mappings* can: the
+recurrence is embarrassingly parallel across genomes.
+:func:`simulate_batch` runs B mappings as lockstep numpy lanes over the
+shared schedule order (one elementwise operation per scalar statement),
+and :func:`simulate_population` is its from-scratch entry for whole
+``(B, n)`` populations — the fitness kernel of the metaheuristic
+mappers (``CostModel.simulate_many`` /
+``MappingEvaluator.construction_makespans``, which prefer the C
+kernel's ``repro_span_batch`` lane loop when compiled).
+
 Exactness contract: :func:`simulate_span` performs bit-for-bit the same
 float64 operations in the same order as the legacy nested-list walk
 (kept as ``CostModel._simulate_reference`` and pinned by
@@ -249,6 +259,8 @@ def simulate_batch(
     finish_blk: np.ndarray,
     avail_blk: np.ndarray,
     makespan: np.ndarray,
+    *,
+    contention: bool = True,
 ) -> np.ndarray:
     """Vectorized span: simulate B mappings in lockstep over positions.
 
@@ -281,7 +293,11 @@ def simulate_batch(
     serializes_l = flat.serializes_l
     slot_ptr = flat.slot_ptr_l
     any_streaming = bool(streaming_np.any())
-    serial_devs = [d for d in range(m) if serializes_l[d]]
+    # contention=False drops serialization exactly like the scalar loop:
+    # slot = -1 on every position, no avail reads or writes
+    serial_devs = (
+        [d for d in range(m) if serializes_l[d]] if contention else []
+    )
 
     B = map_blk.shape[1]
     zeros = np.zeros(B)
@@ -369,4 +385,34 @@ def simulate_flat(
     )
 
 
-__all__.append("simulate_flat")
+def simulate_population(
+    flat: FlatModel,
+    pop: np.ndarray,
+    order: Sequence[int],
+    *,
+    contention: bool = True,
+) -> np.ndarray:
+    """Scratch-simulate every row of a ``(B, n)`` population in lockstep.
+
+    The pure-Python counterpart of the C kernel's ``repro_span_batch``:
+    :func:`simulate_batch` from position 0 on fresh state, one vector
+    lane per genome.  Each lane's makespan is bit-identical to a scalar
+    :func:`simulate_flat` of that row (feasibility is the caller's
+    concern — rows are simulated unconditionally).
+    """
+    B = pop.shape[0]
+    map_blk = np.ascontiguousarray(pop.T)
+    return simulate_batch(
+        flat,
+        map_blk,
+        order,
+        0,
+        np.zeros((flat.n, B)),
+        np.zeros((flat.n, B)),
+        np.zeros((flat.n_slots, B)),
+        np.zeros(B),
+        contention=contention,
+    )
+
+
+__all__.extend(["simulate_flat", "simulate_population"])

@@ -13,14 +13,22 @@ Neighborhood moves mirror the decomposition mapper's move structure:
 Geometric cooling; infeasible neighbours (FPGA area) are rejected outright.
 The best-seen mapping is returned, so the result is never worse than the
 all-CPU start.
+
+Both move kinds reassign one (subgraph, device) pair off the current
+mapping, so trial evaluation goes through
+:class:`~repro.evaluation.delta.DeltaEvaluator` (O(affected suffix) per
+proposal; a full rebuild only on acceptance).  ``delta_eval=False``
+selects the legacy scalar loop; both paths draw the same rng sequence and
+accept the same moves (pinned by ``tests/test_batch_population.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..evaluation.delta import Candidate, DeltaEvaluator
 from ..evaluation.evaluator import MappingEvaluator
 from ..sp.subgraphs import series_parallel_candidates
 from .base import Mapper
@@ -41,6 +49,7 @@ class SimulatedAnnealingMapper(Mapper):
         cooling: float = 0.999,
         subgraph_move_prob: float = 0.25,
         use_subgraph_moves: bool = True,
+        delta_eval: bool = True,
     ) -> None:
         if iterations < 1:
             raise ValueError("need at least one iteration")
@@ -51,6 +60,9 @@ class SimulatedAnnealingMapper(Mapper):
         self.cooling = cooling
         self.subgraph_move_prob = subgraph_move_prob
         self.use_subgraph_moves = use_subgraph_moves
+        self.delta_eval = delta_eval
+        #: best-seen construction makespan after each iteration (last run)
+        self.history_: List[float] = []
         super().__init__()
 
     def _run(
@@ -67,6 +79,78 @@ class SimulatedAnnealingMapper(Mapper):
                     subgraphs.append(
                         np.fromiter((index[t] for t in s), dtype=np.int64)
                     )
+        if self.delta_eval:
+            return self._run_delta(evaluator, rng, subgraphs)
+        return self._run_scalar(evaluator, rng, subgraphs)
+
+    # ------------------------------------------------------------------
+    def _run_delta(
+        self,
+        evaluator: MappingEvaluator,
+        rng: np.random.Generator,
+        subgraphs: List[np.ndarray],
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        n = evaluator.n_tasks
+        m = evaluator.n_devices
+        delta = DeltaEvaluator(evaluator.model)
+        sub_cands = [delta.candidate(sub) for sub in subgraphs]
+        point_cands: List[Optional[Candidate]] = [None] * n
+
+        current_ms = delta.reset(evaluator.cpu_mapping())
+        best = delta.mapping
+        best_ms = current_ms
+        # temperature is relative to the baseline makespan
+        temp = self.start_temperature * current_ms
+        accepted = 0
+        history: List[float] = []
+
+        for _ in range(self.iterations):
+            if subgraphs and rng.random() < self.subgraph_move_prob:
+                cand = sub_cands[int(rng.integers(len(sub_cands)))]
+                device = int(rng.integers(m))
+            else:
+                # legacy draw order: `trial[rng.integers(n)] = rng.integers(m)`
+                # evaluates the RHS first, so the device comes off the
+                # stream before the task index
+                device = int(rng.integers(m))
+                t = int(rng.integers(n))
+                cand = point_cands[t]
+                if cand is None:
+                    cand = point_cands[t] = delta.candidate(
+                        np.array([t], dtype=np.int64)
+                    )
+            ms = delta.evaluate_move(cand, device)
+            if not np.isfinite(ms):
+                temp *= self.cooling
+                history.append(best_ms)
+                continue
+            dms = ms - current_ms
+            if dms <= 0 or rng.random() < np.exp(-dms / max(temp, 1e-12)):
+                delta.apply_move(cand.members, device, first_pos=cand.first_pos)
+                current_ms = ms
+                accepted += 1
+                if ms < best_ms:
+                    best = delta.mapping
+                    best_ms = ms
+            temp *= self.cooling
+            history.append(best_ms)
+        self.history_ = history
+        return best, {
+            "iterations": float(self.iterations),
+            "accepted": float(accepted),
+            "best_makespan": best_ms,
+        }
+
+    # ------------------------------------------------------------------
+    def _run_scalar(
+        self,
+        evaluator: MappingEvaluator,
+        rng: np.random.Generator,
+        subgraphs: List[np.ndarray],
+    ) -> Tuple[np.ndarray, Dict[str, float]]:
+        """Legacy loop: one scalar simulation per proposed move."""
+        n = evaluator.n_tasks
+        m = evaluator.n_devices
 
         current = evaluator.cpu_mapping()
         current_ms = evaluator.construction_makespan(current)
@@ -75,6 +159,7 @@ class SimulatedAnnealingMapper(Mapper):
         # temperature is relative to the baseline makespan
         temp = self.start_temperature * current_ms
         accepted = 0
+        history: List[float] = []
 
         for _ in range(self.iterations):
             trial = current.copy()
@@ -86,9 +171,10 @@ class SimulatedAnnealingMapper(Mapper):
             ms = evaluator.construction_makespan(trial)
             if not np.isfinite(ms):
                 temp *= self.cooling
+                history.append(best_ms)
                 continue
-            delta = ms - current_ms
-            if delta <= 0 or rng.random() < np.exp(-delta / max(temp, 1e-12)):
+            dms = ms - current_ms
+            if dms <= 0 or rng.random() < np.exp(-dms / max(temp, 1e-12)):
                 current = trial
                 current_ms = ms
                 accepted += 1
@@ -96,6 +182,8 @@ class SimulatedAnnealingMapper(Mapper):
                     best = trial.copy()
                     best_ms = ms
             temp *= self.cooling
+            history.append(best_ms)
+        self.history_ = history
         return best, {
             "iterations": float(self.iterations),
             "accepted": float(accepted),

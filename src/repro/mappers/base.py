@@ -60,14 +60,28 @@ class Mapper(abc.ABC):
         """Compute a mapping for the evaluator's graph/platform."""
         rng = rng if rng is not None else np.random.default_rng(0)
         evals_before = evaluator.n_evaluations
+        sims_before = getattr(evaluator, "n_full_simulations", 0)
         deltas_before = getattr(evaluator, "n_delta_evaluations", 0)
+        batched_before = getattr(evaluator, "n_batched_evaluations", 0)
+        calls_before = getattr(evaluator, "n_batch_calls", 0)
         equiv_before = getattr(evaluator, "n_equivalent_evaluations", None)
         t0 = time.perf_counter()
         mapping, stats = self._run(evaluator, rng)
         elapsed = time.perf_counter() - t0
         stats.setdefault(
+            "n_simulations",
+            float(getattr(evaluator, "n_full_simulations", 0) - sims_before),
+        )
+        stats.setdefault(
             "n_delta_evaluations",
             float(getattr(evaluator, "n_delta_evaluations", 0) - deltas_before),
+        )
+        n_batched = getattr(evaluator, "n_batched_evaluations", 0) - batched_before
+        n_calls = getattr(evaluator, "n_batch_calls", 0) - calls_before
+        stats.setdefault("n_batched_evaluations", float(n_batched))
+        stats.setdefault(
+            "batch_size_mean",
+            float(n_batched) / n_calls if n_calls > 0 else 0.0,
         )
         if equiv_before is not None:
             stats.setdefault(
