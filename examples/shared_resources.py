@@ -1,0 +1,181 @@
+"""Shared platform resources: cross-job FPGA area, link slots, energy.
+
+The analytic cost model — and the runtime engine of the early PRs —
+budgets FPGA area *per job* and treats host↔device links as infinitely
+parallel.  Serve a stream of jobs and both fictions break: two workflows
+that are each feasible alone can claim more fabric than the device has,
+and a burst of transfers rides a bus that carries only so many at once.
+
+This example runs one SP workflow mapped by the decomposition mapper
+(SPFirstFit) through three experiments:
+
+1. **Area ledger** — two copies arrive at once on a platform whose FPGA
+   fits 1.5x one job's footprint.  The engine's cross-job area ledger
+   makes the second job's FPGA tasks *wait* for fabric instead of
+   silently co-residing (``AreaWait`` events); with a replan policy the
+   arriving job is instead re-mapped against the residual capacity.
+2. **Link slots** — the same stream under ``link_slots`` 0 (unlimited),
+   2 and 1: fewer slots, longer transfer queues, later results.
+3. **Energy** — a mid-run GPU failure rolls work back; the trace's
+   energy accounting charges the killed execution and its transfers as
+   waste on top of the re-execution.
+
+Run:  python examples/shared_resources.py [n_tasks]
+"""
+
+import dataclasses
+import sys
+
+import numpy as np
+
+from repro.evaluation import MappingEvaluator
+from repro.graphs.generators import random_sp_graph
+from repro.mappers import sp_first_fit
+from repro.platform import paper_platform
+from repro.runtime import (
+    AreaWait,
+    DeviceFailure,
+    Job,
+    RuntimeEngine,
+    simulate_mapping,
+)
+
+HEADROOM = 1.2
+
+
+def squeezed_platform(platform, usage):
+    """The paper platform with the FPGA sized at 1.2x one job's footprint."""
+    devices = []
+    for d, dev in enumerate(platform.devices):
+        used = usage.get(d, 0.0)
+        if dev.area_capacity is not None and used > 0.0:
+            dev = dataclasses.replace(dev, area_capacity=used * HEADROOM)
+        devices.append(dev)
+    return platform.with_devices(devices)
+
+
+def build_kernel_burst(n_lanes: int = 3, chain_len: int = 4):
+    """Parallel streamable chains — the FPGA's sweet spot, fabric-hungry.
+
+    With streaming, every task of a co-mapped chain is in flight at once,
+    so one job's *concurrent* fabric usage equals its whole footprint —
+    exactly the workload where a second simultaneous job cannot fit.
+    """
+    from repro.graphs import TaskGraph
+
+    g = TaskGraph()
+    tid = 0
+    split = tid
+    g.add_task(split, complexity=1.0, parallelizability=0.5,
+               streamability=4.0, area=2.0)
+    tid += 1
+    merge_id = n_lanes * chain_len + 1
+    for _ in range(n_lanes):
+        prev = split
+        for _ in range(chain_len):
+            g.add_task(tid, complexity=8.0, parallelizability=0.1,
+                       streamability=9.0, area=6.0)
+            g.add_edge(prev, tid, data_mb=100.0)
+            prev = tid
+            tid += 1
+        g.add_edge(prev, merge_id, data_mb=50.0)
+    g.add_task(merge_id, complexity=1.0, parallelizability=0.5,
+               streamability=4.0, area=2.0)
+    return g
+
+
+def main(n_tasks: int = 60) -> None:
+    rng = np.random.default_rng(11)
+    graph = random_sp_graph(n_tasks, rng)
+    platform = paper_platform()
+    evaluator = MappingEvaluator(graph, platform, rng=np.random.default_rng(1))
+    mapping = list(sp_first_fit().map(evaluator).mapping)
+    analytic = evaluator.model.simulate(mapping)
+    usage = evaluator.model.area_usage(mapping)
+    print(
+        f"SP workflow: {graph.n_tasks} tasks — SPFirstFit analytic makespan "
+        f"{analytic * 1e3:.1f} ms, FPGA footprint {usage.get(2, 0.0):.1f} "
+        f"area units"
+    )
+
+    # --- 1) two concurrent FPGA-hungry jobs on a 1.2x-headroom fabric ----
+    kernels = build_kernel_burst()
+    kev = MappingEvaluator(kernels, platform, rng=np.random.default_rng(2))
+    kmapping = list(sp_first_fit().map(kev).mapping)
+    kanalytic = kev.model.simulate(kmapping)
+    kusage = kev.model.area_usage(kmapping)
+    tight = squeezed_platform(platform, kusage)
+    burst = [
+        Job(kernels, kmapping, arrival=0.0, name=f"burst{k}")
+        for k in range(2)
+    ]
+    trace = RuntimeEngine(tight).run(burst)
+    waits = [e for e in trace.events if isinstance(e, AreaWait)]
+    print("\n-- cross-job FPGA area ledger --")
+    print(
+        f"2 simultaneous streaming-kernel jobs "
+        f"({kusage.get(2, 0.0):.0f} area units each), capacity = "
+        f"{HEADROOM:g}x one footprint:"
+    )
+    print(
+        f"  {len(waits)} task(s) waited {trace.area_wait_time * 1e3:.1f} ms "
+        f"total for fabric; burst done at {trace.makespan * 1e3:.1f} ms "
+        f"(single job: {kanalytic * 1e3:.1f} ms)"
+    )
+    replanned = RuntimeEngine(tight, replan_policy="heft").run(burst)
+    moved = sum(j.n_remapped for j in replanned.jobs)
+    print(
+        f"  with --replan-policy heft the arrival re-maps {moved} task(s) "
+        f"onto the residual platform: done at "
+        f"{replanned.makespan * 1e3:.1f} ms, "
+        f"{replanned.area_wait_time * 1e3:.1f} ms area wait"
+    )
+
+    # --- 2) link-slot contention ----------------------------------------
+    print("\n-- shared link slots (4 jobs, back-to-back arrivals) --")
+    jobs = [
+        Job(graph, mapping, arrival=k * 0.25 * analytic, name=f"j{k}")
+        for k in range(4)
+    ]
+    for slots in (0, 2, 1):
+        engine = RuntimeEngine(platform, link_slots=slots)
+        t = engine.run(jobs)
+        label = "unlimited" if slots == 0 else f"{slots:>9d}"
+        print(
+            f"  link_slots {label}: done {t.makespan * 1e3:8.1f} ms, "
+            f"transfers queued {t.link_wait_time * 1e3:8.1f} ms"
+        )
+
+    # --- 3) energy accounting under failure ------------------------------
+    print("\n-- energy (evaluation/energy.py rates) --")
+    clean = simulate_mapping(graph, platform, mapping)
+    # fail the busiest accelerator in the middle of its longest task, so
+    # the failure genuinely kills running work
+    victim = int(np.argmax(clean.device_busy[1:])) + 1
+    longest = max(
+        (t for t in clean.tasks if t.device == victim),
+        key=lambda t: t.finish - t.start,
+    )
+    failed = simulate_mapping(
+        graph, platform, mapping,
+        scenarios=[
+            DeviceFailure(0.5 * (longest.start + longest.finish),
+                          device=victim),
+        ],
+    )
+    print(
+        f"  clean run : {clean.energy_j:7.1f} J "
+        f"(compute {clean.compute_energy_j:.1f}, "
+        f"transfers {clean.transfer_energy_j:.2f}, "
+        f"idle {clean.idle_energy_j:.1f})"
+    )
+    print(
+        f"  {platform.devices[victim].name:>9s} fails : "
+        f"{failed.energy_j:7.1f} J — "
+        f"{failed.wasted_energy_j:.1f} J burned on rolled-back work, "
+        f"{failed.n_killed} task(s) re-executed"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 60)

@@ -24,16 +24,22 @@ Public API tour
 - :mod:`repro.runtime` — discrete-event execution engine that stress-tests
   static mappings under stochastic runtime noise, device slowdowns and
   failures, and multi-workflow arrival streams (``repro simulate`` on the
-  command line); with zero noise it reproduces the analytic evaluator
-  exactly; on failure it rescues stranded work with a fixed fallback or by
-  re-running a mapper on the surviving platform
-  (:mod:`repro.runtime.replan`, ``--replan-policy``);
+  command line); with zero noise, unlimited link slots and a single job it
+  reproduces the analytic evaluator exactly; concurrent jobs share the
+  platform for real — a cross-job FPGA area ledger, FIFO transfer slots on
+  the host↔device interconnect (``link_slots``), and per-trace energy
+  accounting including rolled-back work; on failure (or a past-threshold
+  slowdown, or an arrival under fabric pressure) it rescues work with a
+  fixed fallback or by re-running a mapper on the surviving/degraded
+  platform (:mod:`repro.runtime.replan`, ``--replan-policy``);
 - :mod:`repro.parallel` — process-pool experiment backbone with
   deterministic seed sharding: ``--workers N`` scales every driver across
   cores with results bit-identical to a serial run;
 - :mod:`repro.experiments` — drivers regenerating every figure and table of
-  the paper's evaluation, plus the runtime-robustness noise sweep and the
-  failure re-mapping policy sweep (:mod:`repro.experiments.robustness`).
+  the paper's evaluation, plus the runtime-robustness noise sweep, the
+  failure re-mapping policy sweep (:mod:`repro.experiments.robustness`)
+  and the shared-resource contention sweep
+  (:mod:`repro.experiments.contention`).
 
 Quickstart
 ----------
@@ -51,7 +57,7 @@ True
 
 from . import evaluation, graphs, mappers, parallel, platform, runtime, sp
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "evaluation", "graphs", "mappers", "parallel", "platform", "runtime",

@@ -8,12 +8,13 @@ Commands
 ``evaluate``   evaluate a mapping (makespan, improvement, optional Gantt)
 ``compare``    run several algorithms head-to-head on one graph
 ``simulate``   stress-test a mapping in the runtime engine (noise, failures,
-               arrival streams, online re-mapping policies) and print a
-               robustness/throughput report
+               arrival streams, shared link slots, online re-mapping
+               policies) and print a robustness/throughput report with
+               energy and shared-resource wait accounting
 ``experiment`` regenerate a paper figure/table (fig3..fig7, table1) or an
-               extension study (robustness, replan); ``--workers N`` fans
-               the replications across a process pool with bit-identical
-               results
+               extension study (robustness, replan, contention);
+               ``--workers N`` fans the replications across a process
+               pool with bit-identical results
 
 Examples
 --------
@@ -28,8 +29,11 @@ Examples
         --sigma 0.3 --replications 50
     python -m repro simulate graph.json --algorithm heft --fail vega56@0.5 \
         --replan-policy decomposition
+    python -m repro simulate graph.json mapping.json --arrivals 8 \
+        --period 0.05 --link-slots 1
     python -m repro experiment fig4 --scale smoke
     python -m repro experiment robustness --scale small --workers 4
+    python -m repro experiment contention --scale smoke
 """
 
 from __future__ import annotations
@@ -348,9 +352,23 @@ def cmd_simulate(args) -> int:
         print("deterministic replications are identical; --replications "
               "needs a nonzero --noise level", file=sys.stderr)
         return 2
-    if args.replan_policy != "fallback" and not args.fail:
+    if (
+        args.replan_policy != "fallback"
+        and not args.fail
+        and not args.slowdown
+        and args.arrivals <= 1
+    ):
+        # with a multi-job stream the policy still matters: arrivals under
+        # FPGA area pressure are routed through it (no scenario needed)
         print(f"--replan-policy {args.replan_policy} has no effect without "
-              "a --fail scenario", file=sys.stderr)
+              "a --fail/--slowdown scenario or a multi-job --arrivals "
+              "stream", file=sys.stderr)
+        return 2
+    if args.link_slots is not None and args.link_slots < 0:
+        print("--link-slots must be >= 0 (0 = unlimited)", file=sys.stderr)
+        return 2
+    if args.slowdown_replan_threshold <= 1.0:
+        print("--slowdown-replan-threshold must exceed 1", file=sys.stderr)
         return 2
 
     try:
@@ -397,6 +415,27 @@ def cmd_simulate(args) -> int:
         print(f"scenario          : {scn.describe()}")
     if args.replan_policy != "fallback":
         print(f"replan policy     : {args.replan_policy}")
+        if args.slowdown:
+            print(f"slowdown replan   : at cumulative factor >= "
+                  f"{args.slowdown_replan_threshold:g}")
+    if args.link_slots is not None:
+        print(f"link slots        : "
+              f"{args.link_slots if args.link_slots else 'unlimited'}")
+
+    def _print_shared(trace) -> None:
+        print(f"energy            : {trace.energy_j:.1f} J "
+              f"(compute {trace.compute_energy_j:.1f}, "
+              f"transfers {trace.transfer_energy_j:.2f}, "
+              f"idle {trace.idle_energy_j:.1f})")
+        if trace.wasted_energy_j:
+            print(f"wasted energy     : {trace.wasted_energy_j:.1f} J "
+                  f"(rolled-back work)")
+        if trace.n_area_waits:
+            print(f"area waits        : {trace.n_area_waits} task(s), "
+                  f"{trace.area_wait_time * 1e3:.1f} ms total")
+        if trace.n_link_waits:
+            print(f"link waits        : {trace.n_link_waits} transfer(s), "
+                  f"{trace.link_wait_time * 1e3:.1f} ms total")
 
     try:
         if args.arrivals > 1:
@@ -404,11 +443,14 @@ def cmd_simulate(args) -> int:
             engine = RuntimeEngine(
                 platform, noise=noise, scenarios=scenarios,
                 replan_policy=args.replan_policy,
+                link_slots=args.link_slots,
+                slowdown_replan_threshold=args.slowdown_replan_threshold,
             )
             trace = engine.run(jobs, rng=args.seed)
             print(f"stream            : {args.arrivals} arrivals, "
                   f"period {args.period * 1e3:g} ms")
             print(f"serving           : {throughput_report(trace)}")
+            _print_shared(trace)
             return 0
 
         if args.replications > 1:
@@ -416,6 +458,8 @@ def cmd_simulate(args) -> int:
                 g, platform, mapping, n=args.replications, noise=noise,
                 scenarios=scenarios, seed=args.seed,
                 replan_policy=args.replan_policy,
+                link_slots=args.link_slots,
+                slowdown_replan_threshold=args.slowdown_replan_threshold,
             )
             report = robustness_report(traces, analytic)
             print(f"replications      : {report.n} ({noise.describe()})")
@@ -425,11 +469,26 @@ def cmd_simulate(args) -> int:
                   f"(degradation {report.p95_degradation:+.1%})")
             print(f"best / worst      : {report.best * 1e3:.2f} ms / "
                   f"{report.worst * 1e3:.2f} ms")
+            print(f"mean energy       : "
+                  f"{float(np.mean([t.energy_j for t in traces])):.1f} J "
+                  f"per run")
+            mean_we = float(np.mean([t.wasted_energy_j for t in traces]))
+            if mean_we > 0:
+                print(f"mean wasted energy: {mean_we:.1f} J "
+                      f"(rolled-back work)")
+            mean_aw = float(np.mean([t.area_wait_time for t in traces]))
+            mean_lw = float(np.mean([t.link_wait_time for t in traces]))
+            if mean_aw > 0:
+                print(f"mean area wait    : {mean_aw * 1e3:.1f} ms")
+            if mean_lw > 0:
+                print(f"mean link wait    : {mean_lw * 1e3:.1f} ms")
             return 0
 
         trace = simulate_mapping(
             g, platform, mapping, noise=noise, scenarios=scenarios,
             rng=args.seed, replan_policy=args.replan_policy,
+            link_slots=args.link_slots,
+            slowdown_replan_threshold=args.slowdown_replan_threshold,
         )
     except ValueError as exc:  # bad stream/job parameters
         print(exc, file=sys.stderr)
@@ -445,13 +504,16 @@ def cmd_simulate(args) -> int:
         print(f"tasks remapped    : {n_remapped}")
     if trace.n_fallback_dead:
         print(f"dead fallbacks    : {trace.n_fallback_dead}")
+    _print_shared(trace)
     if args.gantt:
         print(render_gantt(trace, model))
     return 0
 
 
 def cmd_experiment(args) -> int:
-    from .experiments import fig3, fig4, fig5, fig6, fig7, robustness, table1
+    from .experiments import (
+        contention, fig3, fig4, fig5, fig6, fig7, robustness, table1,
+    )
     from .experiments.reporting import print_sweep
     from .experiments.table1 import format_table
 
@@ -469,6 +531,10 @@ def cmd_experiment(args) -> int:
     elif args.name == "replan":
         robustness.print_report(
             robustness.run_replan(scale=args.scale, workers=workers)
+        )
+    elif args.name == "contention":
+        contention.print_report(
+            contention.run(scale=args.scale, workers=workers)
         )
     else:
         print_sweep(drivers[args.name](scale=args.scale, workers=workers))
@@ -562,13 +628,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p.add_argument("--replan-policy", default="fallback",
                    choices=list(REPLAN_POLICY_NAMES),
-                   help="on --fail, rescue stranded work with the fixed "
-                        "fallback or by re-running a mapper on the "
-                        "surviving platform")
+                   help="on --fail (or a past-threshold --slowdown), rescue "
+                        "work with the fixed fallback or by re-running a "
+                        "mapper on the surviving/degraded platform")
+    p.add_argument("--slowdown-replan-threshold", type=float, default=2.0,
+                   help="cumulative --slowdown factor at which the replan "
+                        "policy re-maps the degraded device's work "
+                        "(must exceed 1; default 2.0)")
     p.add_argument("--arrivals", type=int, default=1,
                    help="simulate N periodic arrivals of the workflow")
     p.add_argument("--period", type=float, default=0.0,
                    help="arrival period in seconds (with --arrivals)")
+    p.add_argument("--link-slots", type=int, default=None,
+                   help="bound concurrent host<->device transfers on the "
+                        "shared interconnect (0 = unlimited; default: "
+                        "platform setting)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--eval-seed", type=int, default=0)
     p.add_argument("--schedules", type=int, default=100)
@@ -579,7 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p.add_argument("name",
                    choices=["fig3", "fig4", "fig5", "fig6", "fig7", "table1",
-                            "robustness", "replan"])
+                            "robustness", "replan", "contention"])
     p.add_argument("--scale", default="smoke",
                    choices=["smoke", "small", "paper"])
     p.add_argument("--workers", type=int, default=None,

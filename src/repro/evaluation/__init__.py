@@ -2,7 +2,7 @@
 schedule suites, evaluator, traces."""
 
 from .cache import CachedEvaluator
-from .costmodel import INFEASIBLE, CostModel
+from .costmodel import AREA_TOL, INFEASIBLE, CostModel
 from .delta import DeltaEvaluator
 from .energy import JOULES_PER_MB, EnergyModel, energy_joules
 from .evaluator import MappingEvaluator
@@ -12,6 +12,7 @@ from .trace import ScheduleTrace, TaskTrace, render_gantt, simulate_trace
 
 __all__ = [
     "INFEASIBLE",
+    "AREA_TOL",
     "CachedEvaluator",
     "CostModel",
     "DeltaEvaluator",

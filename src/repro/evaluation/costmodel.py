@@ -80,10 +80,32 @@ from ..platform.taskmodel import exec_time_table
 from ._ckernel import load_ckernel
 from .kernel import FlatModel, simulate_flat, simulate_population
 
-__all__ = ["CostModel", "INFEASIBLE"]
+__all__ = ["CostModel", "INFEASIBLE", "AREA_TOL", "area_guard_band"]
 
 #: Makespan reported for mappings that violate a hard constraint.
 INFEASIBLE = float("inf")
+
+#: Absolute slack allowed on a device's area budget: a summed usage up to
+#: ``capacity + AREA_TOL`` counts as feasible.  One shared constant so the
+#: static check (:meth:`CostModel.is_feasible`), its vectorized twin
+#: (:meth:`CostModel.feasible_mask`), the incremental delta check
+#: (:mod:`repro.evaluation.delta`), the greedy mappers' running area sums
+#: and the runtime engine's replan path (``_remap_tasks``) all agree on
+#: per-mapping feasibility *at the boundary* — a mapping accepted by the
+#: static mapper is never rejected by the runtime, and vice versa.  (The
+#: engine's *cross-job* area ledger additionally admits up to
+#: :data:`AREA_BAND` beyond this tolerance: concurrent subset sums have
+#: no canonical order to recount in, see ``_claim_area``.)
+AREA_TOL = 1e-9
+
+
+def area_guard_band(limit: float) -> float:
+    """The :data:`AREA_BAND` guard scaled the way every band comparison
+    scales it (``max(1, |limit|)``) — single-sourced so the vectorized
+    recount triggers here/in :mod:`repro.evaluation.delta` and the
+    runtime ledger's admission slack can never drift apart."""
+    a = abs(limit)
+    return AREA_BAND * (a if a > 1.0 else 1.0)
 
 #: Width of the guard band around the area-tolerance threshold within
 #: which a vectorized (matmul) area sum is re-derived from an exact
@@ -276,7 +298,7 @@ class CostModel:
     def is_feasible(self, mapping: Sequence[int]) -> bool:
         """True iff all device area budgets are respected."""
         usage = self.area_usage(mapping)
-        return all(usage[d] <= self._area_limits[d] + 1e-9 for d in usage)
+        return all(usage[d] <= self._area_limits[d] + AREA_TOL for d in usage)
 
     def feasible_mask(self, mappings: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`is_feasible` over the rows of ``(P, n)``.
@@ -291,8 +313,8 @@ class CostModel:
         area = self._area
         for d, capacity in self._area_limits.items():
             usage = (mappings == d) @ area
-            limit = capacity + 1e-9
-            band = AREA_BAND * max(1.0, abs(limit))
+            limit = capacity + AREA_TOL
+            band = area_guard_band(limit)
             close = np.abs(usage - limit) <= band
             if close.any():
                 for r in np.flatnonzero(close):

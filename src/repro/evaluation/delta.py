@@ -46,7 +46,7 @@ from typing import List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from ..sp.subgraphs import schedule_span
-from .costmodel import AREA_BAND, INFEASIBLE, CostModel
+from .costmodel import AREA_TOL, INFEASIBLE, CostModel, area_guard_band
 from .kernel import INF, simulate_batch, simulate_span
 
 __all__ = ["Candidate", "DeltaEvaluator"]
@@ -61,13 +61,10 @@ class Candidate(NamedTuple):
     first_pos: int         #: first schedule position the candidate touches
     area: float            #: summed task area (incremental feasibility)
 
-#: Width of the guard band around the area-tolerance threshold within
-#: which the incremental sum falls back to an exact scratch recount.
-#: Incremental vs scratch float error is bounded by a few n*ulp —
-#: many orders of magnitude below this — so outside the band both sums
-#: are on the same side of the threshold.  (One constant shared with
-#: ``CostModel.feasible_mask``'s vectorized population check.)
-_AREA_BAND = AREA_BAND
+# Near the area threshold, the incremental usage sum falls back to an
+# exact scratch recount (see _move_feasible); the band for "near" is
+# repro.evaluation.costmodel.area_guard_band, shared with
+# CostModel.feasible_mask's vectorized check and the runtime area ledger.
 
 #: Below this many lanes a vectorized batch loses to scalar suffix evals:
 #: the batch kernel pays ~25 us of numpy call overhead per schedule
@@ -321,8 +318,8 @@ class DeltaEvaluator:
             if removed == 0.0 and added == 0.0:
                 continue
             new_usage = self._usage[ai] - removed + added
-            limit = self._area_limits[ai] + 1e-9
-            if abs(new_usage - limit) <= _AREA_BAND * max(1.0, abs(limit)):
+            limit = self._area_limits[ai] + AREA_TOL
+            if abs(new_usage - limit) <= area_guard_band(limit):
                 new_usage = self._exact_usage(sub_list, device, a)
             if new_usage > limit:
                 return False

@@ -77,6 +77,34 @@ class EnergyModel:
             for t in tasks
         ]
 
+    def transfer_mb(self, mapping: Sequence[int], i: int) -> float:
+        """MB moved to *start* task ``i`` under ``mapping``: its off-device
+        predecessor edges plus, for a source off the host, the initial
+        host→device input.  The sink's return transfer is separate
+        (:meth:`sink_mb`) — it happens after the task finishes.
+
+        This is the per-task decomposition of the transfer term of
+        :meth:`energy`; the runtime engine charges it at task start so
+        re-executed (rolled-back) work pays its transfers again.
+        """
+        d = mapping[i]
+        mb = 0.0
+        for p, vol in self._edges_l[i]:
+            if mapping[p] != d:
+                mb += vol
+        inp = self._input_l[i]
+        if inp is not None and d != self._host:
+            mb += inp
+        return mb
+
+    def sink_mb(self, mapping: Sequence[int], i: int) -> float:
+        """MB of task ``i``'s device→host result transfer (0 if not an
+        off-host sink) — the counterpart of :meth:`transfer_mb`."""
+        out = self._sink_l[i]
+        if out is not None and mapping[i] != self._host:
+            return out
+        return 0.0
+
     def energy(
         self,
         mapping: Sequence[int],

@@ -17,7 +17,7 @@ from .metrics import AggregateStats, aggregate, positive_improvement
 from .reporting import format_sweep_table, print_sweep, write_csv
 from .runner import PointResult, SweepResult, SweepSeries, run_point, run_sweep
 
-_DRIVERS = ("fig3", "fig4", "fig5", "fig6", "fig7", "table1", "ablation", "scaling", "baselines", "robustness")
+_DRIVERS = ("fig3", "fig4", "fig5", "fig6", "fig7", "table1", "ablation", "scaling", "baselines", "robustness", "contention")
 
 __all__ = [
     *_DRIVERS,

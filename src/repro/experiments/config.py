@@ -88,6 +88,26 @@ class ScaleConfig:
     #: lognormal runtime noise applied during the replan sweep
     replan_sigma: float = 0.1
 
+    # Contention — shared-resource sweep (repro.experiments.contention):
+    # arrival streams under cross-job FPGA area accounting + link slots
+    contention_n_tasks: int = 30
+    contention_graphs: int = 2
+    #: jobs per arrival stream
+    contention_jobs: int = 6
+    #: link-slot settings swept (0 = unlimited, the analytic link model)
+    contention_link_slots: List[int] = field(
+        default_factory=lambda: [0, 2, 1]
+    )
+    #: arrival period as a fraction of the mapping's analytic makespan
+    #: (1.0 = back-to-back, smaller = overlapping jobs)
+    contention_period_fracs: List[float] = field(
+        default_factory=lambda: [1.0, 0.5, 0.25]
+    )
+    #: FPGA capacity headroom over one job's footprint: the run platform's
+    #: area budget is ``headroom x usage(mapping)`` (when the mapping uses
+    #: the FPGA at all), so overlapping jobs genuinely contend for fabric
+    contention_area_headroom: float = 1.5
+
 
 SCALES: Dict[str, ScaleConfig] = {
     "smoke": ScaleConfig(
@@ -134,6 +154,10 @@ SCALES: Dict[str, ScaleConfig] = {
         robustness_n_tasks=60,
         robustness_graphs=5,
         parallel_workers=2,
+        contention_n_tasks=60,
+        contention_graphs=4,
+        contention_jobs=10,
+        contention_period_fracs=[1.0, 0.5, 0.25, 0.125],
     ),
     "paper": ScaleConfig(
         name="paper",
@@ -159,6 +183,11 @@ SCALES: Dict[str, ScaleConfig] = {
         robustness_n_tasks=100,
         robustness_graphs=10,
         parallel_workers=0,  # one worker per CPU
+        contention_n_tasks=100,
+        contention_graphs=10,
+        contention_jobs=20,
+        contention_link_slots=[0, 4, 2, 1],
+        contention_period_fracs=[1.0, 0.5, 0.25, 0.125],
     ),
 }
 

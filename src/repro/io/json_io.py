@@ -147,6 +147,7 @@ def platform_to_dict(p: Platform) -> Dict:
         ],
         "bandwidth_gbps": bw.tolist(),
         "latency_s": p.latency_s.tolist(),
+        "link_slots": p.link_slots,
     }
 
 
@@ -173,7 +174,7 @@ def platform_from_dict(doc: Dict) -> Platform:
     bw = np.array(doc["bandwidth_gbps"], dtype=float)
     bw[bw < 0] = np.inf
     lat = np.array(doc["latency_s"], dtype=float)
-    return Platform(devices, bw, lat)
+    return Platform(devices, bw, lat, link_slots=doc.get("link_slots"))
 
 
 def save_platform(p: Platform, path: str) -> None:

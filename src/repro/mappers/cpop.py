@@ -20,6 +20,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ..evaluation.costmodel import AREA_TOL
 from ..evaluation.evaluator import MappingEvaluator
 from .base import Mapper
 from .heft import DeviceTimelines, mean_comm, mean_exec, upward_ranks
@@ -90,7 +91,7 @@ class CpopMapper(Mapper):
         cp_area = float(area[on_cp].sum())
         best_d, best_cost = 0, _INF
         for d in range(m):
-            if d in caps and cp_area > caps[d] + 1e-9:
+            if d in caps and cp_area > caps[d] + AREA_TOL:
                 continue
             cost = float(exec_table[on_cp, d].sum())
             if cost < best_cost:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..evaluation.costmodel import AREA_TOL
 from ..evaluation.evaluator import MappingEvaluator
 from .base import Mapper
 
@@ -57,7 +58,7 @@ class DeviceTimelines:
     def area_allows(self, task_idx: int, device: int) -> bool:
         if device not in self._area_left:
             return True
-        return self._task_area[task_idx] <= self._area_left[device] + 1e-9
+        return self._task_area[task_idx] <= self._area_left[device] + AREA_TOL
 
     def earliest_start(self, device: int, ready: float, duration: float) -> Tuple[float, int]:
         """Earliest start >= ready on ``device``; returns (start, slot)."""

@@ -26,17 +26,31 @@ class Platform:
     device ``i`` to device ``j``; the diagonal is ignored (same-device
     transfers are free).  Matrices may be given as nested lists or numpy
     arrays.
+
+    ``link_slots`` bounds how many cross-device transfers the shared
+    host↔device interconnect (think: one PCIe root complex) can carry
+    concurrently.  ``None`` (the default) and ``0`` both mean the
+    paper's analytic model: links are infinitely parallel and every
+    transfer takes exactly its nominal time (``0`` is normalized to
+    ``None``, matching the engine/CLI convention where ``0`` forces the
+    unlimited model).  A finite value only affects the runtime engine
+    (:mod:`repro.runtime.engine`), which then queues transfers FIFO for
+    the ``link_slots`` slots — the analytic :class:`CostModel` always
+    evaluates the uncontended model.
     """
 
     devices: Tuple[Device, ...]
     bandwidth_gbps: np.ndarray
     latency_s: np.ndarray
+    link_slots: Optional[int]
 
     def __init__(
         self,
         devices: Sequence[Device],
         bandwidth_gbps,
         latency_s,
+        *,
+        link_slots: Optional[int] = None,
     ) -> None:
         devices = tuple(devices)
         bw = np.asarray(bandwidth_gbps, dtype=float).copy()
@@ -57,6 +71,12 @@ class Platform:
         names = [d.name for d in devices]
         if len(set(names)) != m:
             raise ValueError(f"duplicate device names: {names}")
+        if link_slots is not None:
+            link_slots = int(link_slots)
+            if link_slots < 0:
+                raise ValueError("link_slots must be >= 0 (0/None = unlimited)")
+            if link_slots == 0:
+                link_slots = None
         np.fill_diagonal(bw, np.inf)
         np.fill_diagonal(lat, 0.0)
         bw.setflags(write=False)
@@ -64,6 +84,7 @@ class Platform:
         object.__setattr__(self, "devices", devices)
         object.__setattr__(self, "bandwidth_gbps", bw)
         object.__setattr__(self, "latency_s", lat)
+        object.__setattr__(self, "link_slots", link_slots)
 
     # ------------------------------------------------------------------
     @property
@@ -102,6 +123,18 @@ class Platform:
 
     def streaming(self) -> np.ndarray:
         return np.array([d.streaming for d in self.devices])
+
+    def with_devices(self, devices: Sequence[Device]) -> "Platform":
+        """A platform with new devices on this platform's interconnect.
+
+        Keeps ``bandwidth_gbps``/``latency_s``/``link_slots`` — the one
+        way to derive a variant platform (e.g. a resized FPGA) without
+        hand-copying, and forgetting, an interconnect field.
+        """
+        return Platform(
+            devices, self.bandwidth_gbps, self.latency_s,
+            link_slots=self.link_slots,
+        )
 
     def area_capacities(self) -> Dict[int, float]:
         """Device index -> area capacity, for area-constrained devices."""

@@ -11,10 +11,37 @@ the existing Gantt tooling.  :mod:`~repro.runtime.metrics` condenses
 replications into robustness (expected/p95 makespan, degradation vs the
 model) and throughput reports.
 
-Invariant: with zero noise and no scenarios the engine reproduces
-``CostModel.simulate()`` exactly — it is a strict generalization of the
-paper's evaluation, so robustness experiments compose with every existing
-mapper, platform, and graph family.
+Shared resources (cross-job).  Platform resources the analytic model
+budgets per job are global at runtime:
+
+- **FPGA area** — a cross-job ledger holds every in-flight task's fabric
+  claim between its start and finish; a task whose claim would
+  oversubscribe the device budget *waits* (``AreaWait`` events,
+  ``RuntimeTrace.area_wait_time``) or, with a replan policy, the arriving
+  job is re-mapped against the residual capacity.  Concurrent jobs never
+  silently co-reside beyond the budget.
+- **Link slots** — ``Platform.link_slots`` (or
+  ``RuntimeEngine(link_slots=...)``) bounds concurrent host↔device
+  transfers; transfers queue FIFO in commitment order (``LinkWait``
+  events, ``RuntimeTrace.link_wait_time``).  ``None`` keeps the analytic
+  infinitely-parallel link model.
+- **Energy** — every trace accounts compute/transfer/idle energy at the
+  :mod:`repro.evaluation.energy` rates (``RuntimeTrace.energy_j`` and
+  its components), including energy burned on work that device failures
+  rolled back (``wasted_energy_j``).
+
+Replan policies (:mod:`~repro.runtime.replan`) now fire on three
+triggers: device failures (as before), device slowdowns whose cumulative
+factor crosses ``slowdown_replan_threshold`` (the policy maps the
+*degraded* platform), and arrivals under FPGA area pressure (the policy
+maps the *residual* capacity).
+
+Invariant: with zero noise, no scenarios, unlimited link slots and a
+single job the engine reproduces ``CostModel.simulate()`` exactly — it
+is a strict generalization of the paper's evaluation, so robustness
+experiments compose with every existing mapper, platform, and graph
+family.  The shared-resource models only ever *add* waiting on top of
+the exact recurrence; they never change an uncontended run.
 
 Quickstart
 ----------
@@ -35,12 +62,14 @@ Quickstart
 
 from .engine import JobResult, RuntimeEngine, RuntimeTrace, simulate_mapping
 from .events import (
+    AreaWait,
     DeviceFailed,
     DeviceSlowed,
     Event,
     FallbackDead,
     JobArrived,
     JobCompleted,
+    LinkWait,
     TaskFinished,
     TaskKilled,
     TaskReady,
@@ -85,6 +114,8 @@ __all__ = [
     "TaskFinished",
     "TaskKilled",
     "TaskRemapped",
+    "AreaWait",
+    "LinkWait",
     "DeviceSlowed",
     "DeviceFailed",
     "FallbackDead",

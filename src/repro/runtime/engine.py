@@ -35,6 +35,43 @@ and a seed fully determines the trace.
 
 Multi-job arrival streams share the platform FIFO: tasks of later arrivals
 queue behind all unfinished tasks of earlier jobs on the same device.
+
+Shared resources (cross-job).  Three platform resources are global, not
+per job:
+
+- **FPGA area** — a ledger per area-capped device tracks the fabric every
+  in-flight task occupies between its start and its finish, across *all*
+  jobs.  A task whose area claim would oversubscribe the budget waits for
+  area to free (``AreaWait`` events, ``RuntimeTrace.area_wait_time``)
+  instead of silently co-residing; with a replan policy, an arriving job
+  that would contend is instead routed through the policy with the
+  residual capacity (see :mod:`repro.runtime.replan`).  Within one job
+  the static feasibility check already guarantees the sum fits, so
+  single-job runs never wait and stay bit-identical to the model.
+  Ledger claims release at task *finish* (dynamic partial
+  reconfiguration across jobs); the per-job *static* check deliberately
+  stays more conservative — a job's bitstreams persist until the job
+  completes (see :func:`_remap_tasks`).  The two layers answer different
+  questions: "may this job's mapping exist at all" vs "who holds the
+  fabric right now".
+- **Host↔device links** — with ``link_slots`` set (on the
+  :class:`~repro.platform.platform.Platform` or the engine), every
+  cross-device transfer (predecessor edges, initial host→device staging,
+  final device→host results) queues FIFO for one of the shared transfer
+  slots in commitment order.  Slots keep per-slot busy-until times
+  exactly like the device slots themselves: no gap backfilling, so a
+  transfer committed later never slips into an idle window before an
+  earlier commitment — reported link waits are the conservative
+  list-scheduling answer, consistent with how the whole engine
+  schedules.  Unlimited slots (``None``) keep the analytic
+  infinite-parallel link model bit-identically.
+- **Energy** — the trace accounts energy with the rates of
+  :mod:`repro.evaluation.energy`: execution seconds × active watts,
+  transferred MB × :data:`~repro.evaluation.energy.JOULES_PER_MB`, plus
+  the platform idle floor over the horizon.  Work rolled back by
+  failures is charged when it ran (and surfaced as
+  ``RuntimeTrace.wasted_energy_j``), so a failure-heavy trace is honestly
+  more expensive than its analytic twin.
 """
 
 from __future__ import annotations
@@ -46,7 +83,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..evaluation.costmodel import CostModel
+from ..evaluation.costmodel import AREA_TOL, CostModel, area_guard_band
+from ..evaluation.energy import JOULES_PER_MB, EnergyModel
 from ..evaluation.trace import TaskTrace
 from ..graphs.taskgraph import TaskGraph
 from ..platform.platform import Platform
@@ -101,6 +139,28 @@ class RuntimeTrace:
     device_busy: List[float]   # summed execution seconds per device
     #: failures whose designated fallback device was itself already dead
     n_fallback_dead: int = 0
+    #: seconds tasks waited on the cross-job FPGA area ledger / how many did
+    area_wait_time: float = 0.0
+    n_area_waits: int = 0
+    #: seconds transfers queued for a shared link slot / how many waited
+    link_wait_time: float = 0.0
+    n_link_waits: int = 0
+    #: energy actually burned, at :mod:`repro.evaluation.energy` rates:
+    #: execution seconds x active watts (including re-executed work),
+    #: transferred MB x JOULES_PER_MB, and the platform idle floor over
+    #: the serving horizon (first arrival -> last completion).
+    #: ``wasted_energy_j`` is the subset spent on work a device failure
+    #: rolled back (killed partial executions plus their already-paid
+    #: input transfers); it is included in the totals.
+    compute_energy_j: float = 0.0
+    transfer_energy_j: float = 0.0
+    idle_energy_j: float = 0.0
+    wasted_energy_j: float = 0.0
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy of the run (compute + transfers + idle floor)."""
+        return self.compute_energy_j + self.transfer_energy_j + self.idle_energy_j
 
     @property
     def tasks(self) -> List[TaskTrace]:
@@ -121,11 +181,13 @@ class _JobState:
     """Mutable per-job simulation state (arrays indexed by task index)."""
 
     __slots__ = (
-        "idx", "name", "arrival", "model", "order", "mapping",
+        "idx", "name", "arrival", "model", "emodel", "order", "mapping",
         "exec_f", "trans_f", "init_f", "final_f", "succs",
         "committed", "done", "state", "gen",
         "ready_val", "unknown", "drain", "streamed",
         "start", "finish", "slot", "ready", "exec_actual", "fill_actual",
+        "area_wait", "link_wait", "link_wait_n", "final_wait",
+        "link_claims", "final_end",
         "remaining", "completion", "n_killed", "n_remapped",
     )
 
@@ -134,6 +196,7 @@ class _JobState:
         idx: int,
         job: Job,
         model: CostModel,
+        emodel: EnergyModel,
         noise: PerturbationModel,
         rng: np.random.Generator,
     ) -> None:
@@ -142,6 +205,7 @@ class _JobState:
         self.name = job.name or f"job{idx}"
         self.arrival = float(job.arrival)
         self.model = model
+        self.emodel = emodel
         order = list(job.order) if job.order is not None else list(model.bfs_order)
         if sorted(order) != list(range(n)):
             raise ValueError(f"job {self.name}: order is not a permutation")
@@ -189,6 +253,14 @@ class _JobState:
         self.ready = [0.0] * n
         self.exec_actual = [0.0] * n
         self.fill_actual = [0.0] * n
+        self.area_wait = [0.0] * n      # start delay from the area ledger
+        self.link_wait = [0.0] * n      # input transfers' slot-queue time
+        self.link_wait_n = [0] * n      # how many input transfers queued
+        self.final_wait = [0.0] * n     # result transfer's slot-queue time
+        #: link-slot claims per task: [(slot, busy-until), ...]
+        self.link_claims: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        #: absolute end of the claimed result transfer (-1 = uncontended)
+        self.final_end = [-1.0] * n
         self.remaining = n
         self.completion = float("inf")
         self.n_killed = 0
@@ -201,12 +273,25 @@ class _JobState:
         return self.arrival + self.model._initial[i][self.mapping[i]] * self.init_f[i]
 
     def end_time(self, i: int) -> float:
-        """Finish plus the (jittered) device→host result transfer."""
+        """Finish plus the (jittered, possibly slot-queued) result transfer."""
+        if self.final_end[i] >= 0.0:
+            return self.final_end[i]
         return self.finish[i] + self.model._final[i][self.mapping[i]] * self.final_f[i]
 
 
 class RuntimeEngine:
-    """Discrete-event executor of static mappings on one platform."""
+    """Discrete-event executor of static mappings on one platform.
+
+    ``link_slots`` overrides the platform's shared-interconnect width for
+    this engine: ``None`` inherits ``platform.link_slots``, ``0`` forces
+    the unlimited (analytic) link model, any positive value bounds the
+    number of concurrent cross-device transfers.
+
+    ``slowdown_replan_threshold``: with a replan policy set, a
+    :class:`~repro.runtime.scenarios.DeviceSlowdown` whose *cumulative*
+    factor on a device reaches this threshold triggers a policy replan on
+    the degraded platform (must exceed 1; plain failures always replan).
+    """
 
     def __init__(
         self,
@@ -215,10 +300,25 @@ class RuntimeEngine:
         noise: Optional[PerturbationModel] = None,
         scenarios: Sequence[Scenario] = (),
         replan_policy: Union[None, str, ReplanPolicy] = None,
+        link_slots: Optional[int] = None,
+        slowdown_replan_threshold: float = 2.0,
     ) -> None:
         self.platform = platform
         self.noise = noise if noise is not None else NoNoise()
         self.replan_policy = make_replan_policy(replan_policy)
+        if link_slots is None:
+            self.link_slots = platform.link_slots
+        else:
+            slots = int(link_slots)
+            if slots != link_slots or slots < 0:
+                raise ValueError(
+                    "link_slots must be a non-negative integer "
+                    "(0 = unlimited)"
+                )
+            self.link_slots = slots if slots else None
+        if slowdown_replan_threshold <= 1.0:
+            raise ValueError("slowdown_replan_threshold must exceed 1")
+        self.slowdown_replan_threshold = float(slowdown_replan_threshold)
         self.scenarios = sorted(scenarios, key=lambda s: s.time)
         m = platform.n_devices
         for scn in self.scenarios:
@@ -232,17 +332,23 @@ class RuntimeEngine:
                         )
             else:
                 raise TypeError(f"unknown scenario type {type(scn).__name__}")
-        self._models: Dict[int, CostModel] = {}
+        self._area_caps: Dict[int, float] = platform.area_capacities()
+        self._watts_active = [d.watts_active for d in platform.devices]
+        self._watts_idle_total = float(
+            sum(d.watts_idle for d in platform.devices)
+        )
+        self._models: Dict[int, Tuple[CostModel, EnergyModel]] = {}
 
     # ------------------------------------------------------------------
-    def _model_for(self, graph: TaskGraph) -> CostModel:
-        model = self._models.get(id(graph))
-        if model is None or model.graph is not graph:
+    def _model_for(self, graph: TaskGraph) -> Tuple[CostModel, EnergyModel]:
+        pair = self._models.get(id(graph))
+        if pair is None or pair[0].graph is not graph:
             if len(self._models) >= 64:  # bound a long-lived engine's cache
                 self._models.clear()
             model = CostModel(graph, self.platform)
-            self._models[id(graph)] = model
-        return model
+            pair = (model, EnergyModel(model))
+            self._models[id(graph)] = pair
+        return pair
 
     # ------------------------------------------------------------------
     def run(
@@ -276,6 +382,21 @@ class RuntimeEngine:
         self._seq = 0
         self._now = 0.0
         self._n_fallback_dead = 0
+        # shared-resource state: link slots, FPGA area ledger, energy
+        self._link_avail: Optional[List[float]] = (
+            [0.0] * self.link_slots if self.link_slots is not None else None
+        )
+        #: per area-capped device: [(start, end, area)] of in-flight claims
+        self._area_claims: Dict[int, List[Tuple[float, float, float]]] = {
+            d: [] for d in self._area_caps
+        }
+        self._e_compute_j = 0.0
+        self._e_mb = 0.0
+        self._e_wasted_j = 0.0
+        self._area_wait_total = 0.0
+        self._n_area_waits = 0
+        self._link_wait_total = 0.0
+        self._n_link_waits = 0
 
         for k, job in enumerate(sorted(jobs, key=lambda j: j.arrival)):
             self._push(job.arrival, _ARRIVAL, ("arrival", job))
@@ -321,15 +442,31 @@ class RuntimeEngine:
     # arrivals
     # ------------------------------------------------------------------
     def _handle_arrival(self, job: Job, rng: np.random.Generator) -> None:
-        model = self._model_for(job.graph)
-        js = _JobState(len(self._jobs), job, model, self.noise, rng)
+        model, emodel = self._model_for(job.graph)
+        js = _JobState(len(self._jobs), job, model, emodel, self.noise, rng)
         self._emit(ev.JobArrived(self._now, js.name))
         # tasks targeted at an already-dead device move to a surviving,
         # area-feasible device; with a replan policy the whole arriving
         # job (nothing has started yet) is spliced onto the policy's
-        # mapping for the surviving platform, same as a mid-run failure
+        # mapping for the surviving platform, same as a mid-run failure.
+        # A job arriving while in-flight jobs hold so much FPGA fabric
+        # that co-residency would oversubscribe a budget is likewise
+        # routed through the policy, which then maps against the
+        # *residual* capacity (without a policy its tasks simply wait on
+        # the area ledger at start time) — and so is a job arriving onto
+        # a device whose cumulative slowdown already crossed the replan
+        # threshold, mirroring how in-flight jobs were remapped when the
+        # slowdown struck.
         dead = [i for i in range(model.n) if not self._alive[js.mapping[i]]]
-        if dead:
+        pressure = (
+            self._area_pressure(js) if self.replan_policy is not None else ()
+        )
+        degraded = self.replan_policy is not None and any(
+            self._alive[js.mapping[i]]
+            and self._speed[js.mapping[i]] >= self.slowdown_replan_threshold
+            for i in range(model.n)
+        )
+        if dead or pressure or degraded:
             proposal = None
             if self.replan_policy is not None:
                 proposal = self.replan_policy.propose(ReplanContext(
@@ -340,9 +477,11 @@ class RuntimeEngine:
                     movable=tuple(range(model.n)),
                     failed=None,
                     fallback=None,
+                    speed=tuple(self._speed),
+                    area_in_use=pressure,
                 ))
             if proposal is None:
-                targets = self._remap_tasks(js, dead, None)
+                targets = self._remap_tasks(js, dead, None) if dead else {}
             else:
                 targets = self._remap_tasks(
                     js, list(range(model.n)), None, desired=proposal
@@ -385,7 +524,10 @@ class RuntimeEngine:
 
     def _commit(self, js: _JobState, i: int, d: int, work: deque) -> None:
         model = js.model
-        r = js.ready_val[i]
+        if self._link_avail is not None:
+            r = self._claim_links(js, i, d)
+        else:
+            r = js.ready_val[i]
         slot = -1
         st = r if r > self._now else self._now
         if self._serializes[d]:
@@ -400,9 +542,16 @@ class RuntimeEngine:
                 st = earliest
         speed = self._speed[d]
         exec_t = model._exec[i][d] * js.exec_f[i] * speed
-        fin = st + exec_t
-        if js.drain[i] > fin:
-            fin = js.drain[i]
+        js.area_wait[i] = 0.0
+        if d in self._area_caps and model._area[i] > 0.0:
+            # cross-job area ledger: wait until the claim fits the fabric
+            st0 = st
+            st, fin = self._claim_area(js, i, d, st, exec_t)
+            js.area_wait[i] = st - st0
+        else:
+            fin = st + exec_t
+            if js.drain[i] > fin:
+                fin = js.drain[i]
         if slot >= 0:
             self._avail[d][slot] = fin
         js.committed[i] = True
@@ -412,6 +561,15 @@ class RuntimeEngine:
         js.slot[i] = slot
         js.exec_actual[i] = exec_t
         js.fill_actual[i] = model._fill[i][d] * js.exec_f[i] * speed
+        js.final_end[i] = -1.0
+        js.final_wait[i] = 0.0
+        if self._link_avail is not None:
+            # the device→host result transfer of a sink queues as well
+            tf = model._final[i][d] * js.final_f[i]
+            if tf > 0.0:
+                ts, end = self._claim_link_slot(js, i, fin, tf)
+                js.final_end[i] = end
+                js.final_wait[i] = ts - fin
 
         gen = js.gen[i]
         if js.state[i] == _RELEASED:
@@ -436,6 +594,172 @@ class RuntimeEngine:
                 work.append(ds)
 
     # ------------------------------------------------------------------
+    # shared-resource claims (cross-job area ledger, link slots, energy)
+    # ------------------------------------------------------------------
+    def _claim_link_slot(
+        self, js: _JobState, i: int, ready: float, dur: float
+    ) -> Tuple[float, float]:
+        """FIFO-claim the earliest-free link slot for one transfer.
+
+        The transfer runs ``[max(ready, slot busy-until), +dur)`` on the
+        slot that frees first (lowest index on ties); the claim is
+        recorded on task ``i`` so rollback can rebuild slot state.
+        Returns ``(start, end)`` of the transfer.
+        """
+        avail = self._link_avail
+        best = 0
+        earliest = avail[0]
+        for k in range(1, len(avail)):
+            if avail[k] < earliest:
+                earliest = avail[k]
+                best = k
+        ts = ready if ready > earliest else earliest
+        end = ts + dur
+        avail[best] = end
+        js.link_claims[i].append((best, end))
+        return ts, end
+
+    def _claim_links(self, js: _JobState, i: int, d: int) -> float:
+        """Queue task ``i``'s input transfers on the shared link slots.
+
+        Recomputes the task's ready time with every cross-device transfer
+        (initial host→device staging first, then predecessor edges in
+        model order) claiming the earliest-free slot FIFO in commitment
+        order: a transfer starts at ``max(data available, slot free)``.
+        Same-device and zero-duration transfers bypass the interconnect.
+        Also refreshes drain/streamed exactly like the uncontended path.
+        """
+        model = js.model
+        js.link_claims[i].clear()
+        wait = 0.0
+        n_waited = 0
+        r = js.arrival
+        t0 = model._initial[i][d] * js.init_f[i]
+        if t0 > 0.0:
+            ts, end = self._claim_link_slot(js, i, js.arrival, t0)
+            wait += ts - js.arrival
+            n_waited += ts > js.arrival
+            r = end
+        drain = 0.0
+        streamed = False
+        for k, (p, row) in enumerate(model._pred[i]):
+            dp = js.mapping[p]
+            if dp == d and self._streaming[d]:
+                contrib = js.start[p] + js.fill_actual[p]
+                streamed = True
+                if js.finish[p] > drain:
+                    drain = js.finish[p]
+            else:
+                tau = row[dp][d] * js.trans_f[i][k]
+                if dp != d and tau > 0.0:
+                    fp = js.finish[p]
+                    ts, contrib = self._claim_link_slot(js, i, fp, tau)
+                    wait += ts - fp
+                    n_waited += ts > fp
+                else:
+                    contrib = js.finish[p] + tau
+            if contrib > r:
+                r = contrib
+        js.drain[i] = drain
+        js.streamed[i] = streamed
+        js.link_wait[i] = wait
+        js.link_wait_n[i] = n_waited
+        return r
+
+    def _claim_area(
+        self, js: _JobState, i: int, d: int, st0: float, exec_t: float
+    ) -> Tuple[float, float]:
+        """Earliest start >= ``st0`` whose area claim fits device ``d``.
+
+        The ledger holds the ``(start, end, area)`` intervals of every
+        committed, unfinished task across *all* in-flight jobs.  The task
+        occupies its area over ``[start, finish)``; candidate starts are
+        ``st0`` and the ends of active claims, checked in time order, so
+        the first fit is the FIFO-earliest.  Admission is guard-banded:
+        a claim is accepted up to
+        ``AREA_TOL + AREA_BAND * max(1, limit)`` beyond the capacity.
+        Unlike the static check (where :data:`AREA_BAND` only triggers an
+        exact recount), concurrent subset sums have no canonical
+        reference order to recount in, so the band here is genuine slack
+        — physically negligible (1e-6 area units), and required so a
+        statically-feasible single job (whose total usage fits by
+        construction) can never be delayed by float re-association of
+        partial sums: single-job runs stay bit-identical to the model.
+        """
+        cap = self._area_caps[d]
+        a = float(js.model._area[i])
+        limit = cap + AREA_TOL
+        band = area_guard_band(limit)
+        claims = self._area_claims[d]
+        if claims:
+            # claims ending by now can never overlap a start >= now
+            now = self._now
+            claims = [c for c in claims if c[1] > now]
+            self._area_claims[d] = claims
+        drain = js.drain[i]
+        candidates = sorted({st0} | {ce for _, ce, _ in claims if ce > st0})
+        st = fin = st0
+        for st in candidates:
+            fin = st + exec_t
+            if drain > fin:
+                fin = drain
+            # peak concurrent usage of overlapping claims over [st, fin)
+            events = []
+            for cs, ce, ca in claims:
+                if cs < fin and ce > st:
+                    events.append((cs if cs > st else st, 1, ca))
+                    events.append((ce, 0, ca))
+            events.sort(key=lambda e: (e[0], e[1]))
+            cur = peak = 0.0
+            for _, phase, ca in events:
+                cur = cur + ca if phase else cur - ca
+                if cur > peak:
+                    peak = cur
+            if peak + a <= limit + band:
+                break
+            # the last candidate (max claim end) always fits: nothing
+            # overlaps it, and a single task fits an empty fabric by the
+            # static feasibility check
+        claims.append((st, fin, a))
+        return st, fin
+
+    def _area_pressure(
+        self, js: _JobState
+    ) -> Tuple[Tuple[int, float], ...]:
+        """Fabric held by other in-flight jobs, if ``js`` would contend.
+
+        Returns ``(device, area_in_use)`` pairs when the arriving job's
+        static usage plus the area that *unfinished* tasks of other
+        incomplete jobs still occupy oversubscribes some budget — the
+        signal to route the arrival through the replan policy.  Empty
+        tuple: no contention, the job proceeds unchanged.
+        """
+        caps = self._area_caps
+        if not caps or not self._jobs:
+            return ()
+        new = {d: 0.0 for d in caps}
+        for i in range(js.model.n):
+            d = js.mapping[i]
+            if d in new:
+                new[d] += js.model._area[i]
+        in_use = {d: 0.0 for d in caps}
+        for other in self._jobs:
+            if other.remaining == 0:
+                continue
+            oa = other.model._area
+            for i in range(other.model.n):
+                d = other.mapping[i]
+                if d in in_use and not other.done[i]:
+                    in_use[d] += oa[i]
+        for d, cap in caps.items():
+            limit = cap + AREA_TOL
+            if new[d] > 0.0 and new[d] + in_use[d] > limit + area_guard_band(limit):
+                return tuple(sorted(
+                    (dev, use) for dev, use in in_use.items() if use > 0.0
+                ))
+        return ()
+
+    # ------------------------------------------------------------------
     # realizations
     # ------------------------------------------------------------------
     def _realize_ready(self, j: int, i: int, gen: int) -> None:
@@ -450,6 +774,21 @@ class RuntimeEngine:
         if gen != js.gen[i]:
             return
         js.state[i] = _RUNNING
+        w = js.area_wait[i]
+        if w > 0.0:
+            self._area_wait_total += w
+            self._n_area_waits += 1
+            self._emit(ev.AreaWait(
+                self._now, js.name, js.model.tasks[i], js.mapping[i], w
+            ))
+        w = js.link_wait[i]
+        if w > 0.0:
+            self._link_wait_total += w
+            self._n_link_waits += js.link_wait_n[i]
+            self._emit(ev.LinkWait(self._now, js.name, js.model.tasks[i], w))
+        # input data is on the device now: charge the transfer energy
+        # (re-charged if a failure rolls the task back and it restarts)
+        self._e_mb += js.emodel.transfer_mb(js.mapping, i)
         self._emit(ev.TaskStarted(
             self._now, js.name, js.model.tasks[i], js.mapping[i], js.slot[i]
         ))
@@ -460,7 +799,14 @@ class RuntimeEngine:
             return
         js.done[i] = True
         js.state[i] = _DONE
-        self._busy[js.mapping[i]] += js.exec_actual[i]
+        d = js.mapping[i]
+        self._busy[d] += js.exec_actual[i]
+        self._e_compute_j += js.exec_actual[i] * self._watts_active[d]
+        self._e_mb += js.emodel.sink_mb(js.mapping, i)
+        fw = js.final_wait[i]
+        if fw > 0.0:
+            self._link_wait_total += fw
+            self._n_link_waits += 1
         self._emit(ev.TaskFinished(self._now, js.name, js.model.tasks[i], js.mapping[i]))
         js.remaining -= 1
         if js.remaining == 0:
@@ -484,7 +830,10 @@ class RuntimeEngine:
     ) -> Dict[int, int]:
         """Pick an alive, area-feasible target device for each task.
 
-        Area budgets are per job (see :mod:`repro.runtime.scenarios`):
+        The *static* area budgets validated here are per job, at the
+        shared :data:`~repro.evaluation.costmodel.AREA_TOL` tolerance (so
+        replan and static mapping agree on feasibility at the boundary;
+        dynamic cross-job co-residency is the area ledger's job):
         usage counts every task still mapped to an area-limited device —
         including finished ones, whose bitstreams occupied the fabric —
         minus the tasks being moved.  Preference order: the task's entry
@@ -517,7 +866,7 @@ class RuntimeEngine:
                     order = [want] + [d for d in candidates if d != want]
             area = model._area[i]
             for d in order:
-                if d in limits and usage[d] + area > limits[d] + 1e-9:
+                if d in limits and usage[d] + area > limits[d] + AREA_TOL:
                     continue
                 targets[i] = d
                 if d in limits:
@@ -536,7 +885,17 @@ class RuntimeEngine:
                 return
             self._speed[scn.device] *= scn.factor
             self._emit(ev.DeviceSlowed(self._now, scn.device, scn.factor))
-            self._replan()
+            # a slowdown whose cumulative factor crosses the threshold
+            # asks the replan policy for a mapping of the degraded
+            # platform; below it (or with no policy) the rollback/recommit
+            # alone re-times the committed frontier at the new speed
+            slowed = None
+            if (
+                self.replan_policy is not None
+                and self._speed[scn.device] >= self.slowdown_replan_threshold
+            ):
+                slowed = scn.device
+            self._replan(slowed=slowed)
         elif isinstance(scn, DeviceFailure):
             if not self._alive[scn.device]:
                 return
@@ -545,7 +904,10 @@ class RuntimeEngine:
             self._replan(failed=scn.device, fallback=scn.fallback)
 
     def _replan(
-        self, failed: Optional[int] = None, fallback: Optional[int] = None
+        self,
+        failed: Optional[int] = None,
+        fallback: Optional[int] = None,
+        slowed: Optional[int] = None,
     ) -> None:
         t = self._now
         # 1) roll back every commitment that has not started yet (start >= t:
@@ -564,7 +926,17 @@ class RuntimeEngine:
                     js.gen[i] += 1
                     js.state[i] = _RELEASED
                     js.n_killed += 1
-                    self._busy[failed] += t - js.start[i]
+                    partial = t - js.start[i]
+                    self._busy[failed] += partial
+                    # energy burned on the rolled-back execution — and on
+                    # the input transfers it already paid — is real; it
+                    # stays in the totals and is surfaced as waste
+                    burned = partial * self._watts_active[failed]
+                    self._e_compute_j += burned
+                    self._e_wasted_j += (
+                        burned
+                        + js.emodel.transfer_mb(js.mapping, i) * JOULES_PER_MB
+                    )
                     self._emit(ev.TaskKilled(t, js.name, js.model.tasks[i], failed))
 
         # 2) move unfinished work off the failed device (area-aware: a
@@ -572,20 +944,24 @@ class RuntimeEngine:
         #    next surviving device).  With a replan policy, *every*
         #    not-yet-started task may move: the policy re-runs a mapper on
         #    the surviving platform and the fresh mapping is spliced in.
-        if failed is not None:
-            if fallback is not None and not self._alive[fallback]:
-                # the designated fallback is itself dead: record it loudly
-                # (the area-aware _remap_tasks path takes over) instead of
-                # silently coercing to None
-                self._n_fallback_dead += 1
-                self._emit(ev.FallbackDead(t, fallback, failed))
-                fallback = None
+        if failed is not None and fallback is not None and not self._alive[fallback]:
+            # the designated fallback is itself dead: record it loudly
+            # (the area-aware _remap_tasks path takes over) instead of
+            # silently coercing to None
+            self._n_fallback_dead += 1
+            self._emit(ev.FallbackDead(t, fallback, failed))
+            fallback = None
+        if failed is not None or slowed is not None:
             policy = self.replan_policy
             for js in self._jobs:
                 movable = [
                     i for i in range(js.model.n)
                     if not js.done[i] and not js.committed[i]
                 ]
+                if slowed is not None and failed is None and not any(
+                    js.mapping[i] == slowed for i in movable
+                ):
+                    continue  # the slowdown cannot affect this job's plan
                 proposal = None
                 if policy is not None and movable:
                     proposal = policy.propose(ReplanContext(
@@ -596,8 +972,12 @@ class RuntimeEngine:
                         movable=tuple(movable),
                         failed=failed,
                         fallback=fallback,
+                        slowed=slowed,
+                        speed=tuple(self._speed),
                     ))
                 if proposal is None:
+                    if failed is None:
+                        continue  # slowdown-only: nothing is stranded
                     stranded = [
                         i for i in movable if js.mapping[i] == failed
                     ]
@@ -667,6 +1047,34 @@ class RuntimeEngine:
                         if js.finish[i] > avail[js.slot[i]]:
                             avail[js.slot[i]] = js.finish[i]
             self._avail[d] = avail
+        # shared-resource state follows the same rebuild discipline: link
+        # slots stay busy for transfers of still-committed work (a done
+        # task's result transfer may outlive it); rolled-back tasks'
+        # claims evaporate and are re-queued when they recommit.  The
+        # area ledger keeps the claims of committed, unfinished tasks.
+        if self._link_avail is not None:
+            link_avail = [0.0] * len(self._link_avail)
+            for js in self._jobs:
+                for i in range(js.model.n):
+                    if js.committed[i]:
+                        for s, end in js.link_claims[i]:
+                            if end > link_avail[s]:
+                                link_avail[s] = end
+            self._link_avail = link_avail
+        if self._area_claims:
+            claims: Dict[int, List[Tuple[float, float, float]]] = {
+                d: [] for d in self._area_caps
+            }
+            for js in self._jobs:
+                area = js.model._area
+                for i in range(js.model.n):
+                    if js.committed[i] and not js.done[i]:
+                        d = js.mapping[i]
+                        if d in claims and area[i] > 0.0:
+                            claims[d].append(
+                                (js.start[i], js.finish[i], float(area[i]))
+                            )
+            self._area_claims = claims
         self._cascade()
 
     # ------------------------------------------------------------------
@@ -697,12 +1105,26 @@ class RuntimeEngine:
                 n_remapped=js.n_remapped,
             ))
         makespan = max((job.completion for job in jobs), default=0.0)
+        # idle floor over the serving horizon (first arrival -> last
+        # completion, the same window throughput_report measures): a job
+        # arriving at t is not charged platform idle for [0, t), keeping
+        # engine energy == EnergyModel.energy for clean runs at any
+        # arrival offset
+        horizon = makespan - min((job.arrival for job in jobs), default=0.0)
         return RuntimeTrace(
             jobs=jobs,
             events=self._log,
             makespan=makespan,
             device_busy=list(self._busy),
             n_fallback_dead=self._n_fallback_dead,
+            area_wait_time=self._area_wait_total,
+            n_area_waits=self._n_area_waits,
+            link_wait_time=self._link_wait_total,
+            n_link_waits=self._n_link_waits,
+            compute_energy_j=self._e_compute_j,
+            transfer_energy_j=self._e_mb * JOULES_PER_MB,
+            idle_energy_j=horizon * self._watts_idle_total,
+            wasted_energy_j=self._e_wasted_j,
         )
 
 
@@ -718,9 +1140,13 @@ def simulate_mapping(
     rng: Union[None, int, np.random.Generator] = None,
     name: str = "job0",
     replan_policy: Union[None, str, ReplanPolicy] = None,
+    link_slots: Optional[int] = None,
+    slowdown_replan_threshold: float = 2.0,
 ) -> RuntimeTrace:
     """Run one static mapping through the engine and return its trace."""
     engine = RuntimeEngine(
-        platform, noise=noise, scenarios=scenarios, replan_policy=replan_policy
+        platform, noise=noise, scenarios=scenarios,
+        replan_policy=replan_policy, link_slots=link_slots,
+        slowdown_replan_threshold=slowdown_replan_threshold,
     )
     return engine.run(Job(graph, mapping, name=name, order=order), rng=rng)

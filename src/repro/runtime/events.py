@@ -24,6 +24,8 @@ __all__ = [
     "TaskFinished",
     "TaskKilled",
     "TaskRemapped",
+    "AreaWait",
+    "LinkWait",
     "DeviceSlowed",
     "DeviceFailed",
     "FallbackDead",
@@ -99,6 +101,41 @@ class TaskRemapped(Event):
     task: int
     from_device: int
     to_device: int
+
+
+@dataclass(frozen=True)
+class AreaWait(Event):
+    """A task's start was delayed by the cross-job FPGA area ledger.
+
+    Emitted just before the task's :class:`TaskStarted` record: in-flight
+    tasks of *other* jobs held enough of ``device``'s reconfigurable area
+    that co-residency would have oversubscribed the budget, so the task
+    waited ``waited`` seconds for area to free up.  The trace aggregates
+    these in ``RuntimeTrace.area_wait_time`` / ``n_area_waits``.
+    """
+
+    job: str
+    task: int
+    device: int
+    waited: float
+
+
+@dataclass(frozen=True)
+class LinkWait(Event):
+    """A task's input transfers queued for a busy host↔device link slot.
+
+    Emitted just before the task's :class:`TaskStarted` record when the
+    platform bounds concurrent transfers (``link_slots``) and at least
+    one of the task's input transfers (predecessor edges or the initial
+    host→device staging) had to wait ``waited`` seconds in total for a
+    free slot.  Sink-side result transfers also queue but are aggregated
+    directly into ``RuntimeTrace.link_wait_time`` (the task has already
+    finished when they run, so there is no task record to attach to).
+    """
+
+    job: str
+    task: int
+    waited: float
 
 
 @dataclass(frozen=True)

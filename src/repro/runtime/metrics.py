@@ -73,7 +73,14 @@ class RobustnessReport:
 
 @dataclass(frozen=True)
 class ThroughputReport:
-    """Serving summary of a multi-job (arrival stream) trace."""
+    """Serving summary of a multi-job (arrival stream) trace.
+
+    Besides the classic serving quantities it carries the shared-resource
+    accounting of the underlying :class:`RuntimeTrace`: total energy at
+    the :mod:`repro.evaluation.energy` rates, per-job energy, and the
+    seconds jobs spent waiting on the cross-job FPGA area ledger and on
+    busy link slots — the costs the per-job analytic model cannot see.
+    """
 
     n_jobs: int
     horizon: float             # first arrival -> last completion (s)
@@ -81,13 +88,18 @@ class ThroughputReport:
     latency_mean: float        # arrival -> results-on-host (s)
     latency_p95: float
     latency_worst: float
+    energy_j: float = 0.0          # total energy of the trace (J)
+    energy_per_job_j: float = 0.0
+    area_wait_s: float = 0.0       # summed cross-job FPGA area waiting
+    link_wait_s: float = 0.0       # summed link-slot queueing
 
     def __str__(self) -> str:
         return (
             f"{self.n_jobs} jobs in {self.horizon * 1e3:.1f}ms "
             f"({self.jobs_per_second:.2f} jobs/s), latency "
             f"mean {self.latency_mean * 1e3:.1f}ms / "
-            f"p95 {self.latency_p95 * 1e3:.1f}ms"
+            f"p95 {self.latency_p95 * 1e3:.1f}ms, "
+            f"{self.energy_per_job_j:.1f} J/job"
         )
 
 
@@ -102,6 +114,8 @@ def replicate(
     order: Optional[Sequence[int]] = None,
     seed: Union[int, np.random.SeedSequence] = 0,
     replan_policy: Union[None, str, ReplanPolicy] = None,
+    link_slots: Optional[int] = None,
+    slowdown_replan_threshold: float = 2.0,
 ) -> List[RuntimeTrace]:
     """Run ``n`` independently-seeded replications of one static mapping.
 
@@ -124,7 +138,9 @@ def replicate(
         else np.random.SeedSequence(seed)
     )
     engine = RuntimeEngine(
-        platform, noise=noise, scenarios=scenarios, replan_policy=replan_policy
+        platform, noise=noise, scenarios=scenarios,
+        replan_policy=replan_policy, link_slots=link_slots,
+        slowdown_replan_threshold=slowdown_replan_threshold,
     )
     traces = []
     for k in range(n):
@@ -187,4 +203,8 @@ def throughput_report(trace: RuntimeTrace) -> ThroughputReport:
         latency_mean=float(latencies.mean()),
         latency_p95=float(np.percentile(latencies, 95)),
         latency_worst=float(latencies.max()),
+        energy_j=trace.energy_j,
+        energy_per_job_j=trace.energy_j / len(trace.jobs),
+        area_wait_s=trace.area_wait_time,
+        link_wait_s=trace.link_wait_time,
     )

@@ -18,6 +18,15 @@ splice time against the bitstreams the frozen tasks still occupy, so a
 proposal that would overflow an FPGA degrades gracefully to the next
 surviving feasible device instead of aborting the run.
 
+Failures are not the only trigger any more: a
+:class:`~repro.runtime.scenarios.DeviceSlowdown` whose cumulative factor
+crosses the engine's ``slowdown_replan_threshold`` asks the policy for a
+fresh mapping on the *degraded* platform (device throughput scaled by
+``1/factor``), and a job arriving while in-flight jobs hold most of the
+FPGA fabric is routed through the policy with the device's
+``area_capacity`` reduced to the residual — see
+:class:`ReplanContext.speed` / :class:`ReplanContext.area_in_use`.
+
 Policies are deterministic: a policy holds its own seed, so a fixed
 engine seed still fully determines the trace — the reproducibility
 contract of :mod:`repro.runtime.engine` extends to replanning.
@@ -30,6 +39,7 @@ Select a policy by name (:func:`make_replan_policy`,
 from __future__ import annotations
 
 import abc
+import dataclasses
 import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -50,15 +60,23 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ReplanContext:
-    """Snapshot handed to a policy when a device failure triggers a replan.
+    """Snapshot handed to a policy when the engine asks for a re-mapping.
 
     ``movable`` lists the task indices the engine may move: tasks neither
     finished nor already started (committed decisions are never
     rewritten).  ``mapping`` is the job's full current mapping, including
     frozen tasks, so a policy can account for occupied FPGA area.
-    ``failed`` names the device whose failure triggered the replan, or is
-    ``None`` when a job *arrives* onto a platform that already lost
-    devices (every task is movable then).
+    ``failed`` names the device whose failure triggered the replan;
+    ``slowed`` the device whose cumulative slowdown crossed the engine's
+    replan threshold.  Both are ``None`` when a job *arrives* onto a
+    platform that already lost devices or whose FPGA area is largely
+    claimed by in-flight jobs (every task is movable then).
+
+    ``speed`` carries the engine's current per-device slowdown factors
+    (execution time multipliers; empty = all 1.0) and ``area_in_use`` the
+    reconfigurable area other in-flight jobs still hold per device, so a
+    mapper-based policy can optimize against the platform *as it is now*
+    rather than its nominal spec.
     """
 
     graph: TaskGraph
@@ -68,6 +86,12 @@ class ReplanContext:
     movable: Tuple[int, ...]
     failed: Optional[int]
     fallback: Optional[int]
+    #: device whose slowdown triggered the replan (None outside slowdowns)
+    slowed: Optional[int] = None
+    #: per-device execution-time multipliers (empty tuple = all 1.0)
+    speed: Tuple[float, ...] = ()
+    #: (device, area) pairs: fabric other in-flight jobs still occupy
+    area_in_use: Tuple[Tuple[int, float], ...] = ()
 
     def alive_indices(self) -> List[int]:
         return [d for d, ok in enumerate(self.alive) if ok]
@@ -97,13 +121,45 @@ class _FixedFallbackPolicy(ReplanPolicy):
         return None
 
 
-def _surviving_platform(platform: Platform, alive: Sequence[int]) -> Platform:
-    """Restrict a platform to the given (sorted) device indices."""
+def _surviving_platform(
+    platform: Platform,
+    alive: Sequence[int],
+    speed: Sequence[float] = (),
+    area_in_use: Sequence[Tuple[int, float]] = (),
+) -> Platform:
+    """Restrict a platform to the given (sorted) device indices.
+
+    ``speed`` (global per-device execution-time multipliers) degrades a
+    slowed device's throughput so a mapper sees it as it currently runs
+    — ``lane_gops``/``stream_gops`` scale by ``1/factor``, a first-order
+    model that treats the per-task ``setup_s`` as unaffected.
+    ``area_in_use`` shrinks a device's ``area_capacity`` by the fabric
+    other in-flight jobs still hold, so a proposal only counts on the
+    residual area (floored just above zero: the :class:`Device`
+    invariant requires a positive capacity, and no real task fits in
+    ``1e-12`` area units).
+    """
+    used = dict(area_in_use)
+    devices = []
+    for d in alive:
+        dev = platform.devices[d]
+        changes = {}
+        f = speed[d] if d < len(speed) else 1.0
+        if f != 1.0:
+            changes["lane_gops"] = dev.lane_gops / f
+            if dev.stream_gops > 0:
+                changes["stream_gops"] = dev.stream_gops / f
+        if dev.area_capacity is not None and used.get(d, 0.0) > 0.0:
+            changes["area_capacity"] = max(
+                dev.area_capacity - used[d], 1e-12
+            )
+        devices.append(dataclasses.replace(dev, **changes) if changes else dev)
     idx = np.asarray(alive, dtype=int)
     return Platform(
-        [platform.devices[d] for d in alive],
+        devices,
         platform.bandwidth_gbps[np.ix_(idx, idx)],
         platform.latency_s[np.ix_(idx, idx)],
+        link_slots=platform.link_slots,
     )
 
 
@@ -115,11 +171,13 @@ class MapperReplanPolicy(ReplanPolicy):
     run).  The policy owns its randomness: ``seed`` feeds both the
     evaluator's schedule suite and the mapper, so proposals are a pure
     function of (graph, surviving platform) and the engine's trace stays
-    seed-deterministic.  Proposals are cached per (graph, alive-set) —
-    weakly keyed on the graph object itself, so entries die with their
-    graph and a recycled object can never be served a stale mapping —
-    and repeated failures or multiple jobs on the same graph pay for one
-    mapper run.
+    seed-deterministic.  Proposals are cached per (graph, alive-set,
+    speed factors) — weakly keyed on the graph object itself, so entries
+    die with their graph and a recycled object can never be served a
+    stale mapping — and repeated failures or multiple jobs on the same
+    graph pay for one mapper run.  Area-pressured arrivals are the
+    exception: the in-flight usage is a fresh float every time, so those
+    proposals are computed uncached.
 
     Requires the host (device 0) to survive — the cost model stages all
     I/O through it — and falls back to the fixed-fallback path otherwise.
@@ -137,7 +195,7 @@ class MapperReplanPolicy(ReplanPolicy):
         self.name = name
         self.seed = int(seed)
         self.n_random_schedules = int(n_random_schedules)
-        self._cache: "weakref.WeakKeyDictionary[TaskGraph, Dict[Tuple[bool, ...], List[int]]]" = (
+        self._cache: "weakref.WeakKeyDictionary[TaskGraph, Dict[tuple, List[int]]]" = (
             weakref.WeakKeyDictionary()
         )
 
@@ -147,19 +205,36 @@ class MapperReplanPolicy(ReplanPolicy):
         alive = ctx.alive_indices()
         if len(alive) < 2:
             return None  # single survivor: nothing to optimize
+        if ctx.area_in_use:
+            # area-pressured arrivals see an essentially unique in-flight
+            # usage every time: caching those floats would miss forever
+            # while growing the per-graph dict without bound, so compute
+            # fresh and store nothing
+            full = self._map_surviving(
+                ctx.graph, ctx.platform, alive, ctx.speed, ctx.area_in_use
+            )
+            return {i: full[i] for i in ctx.movable}
         per_graph = self._cache.setdefault(ctx.graph, {})
-        full = per_graph.get(ctx.alive)
+        key = (ctx.alive, ctx.speed)
+        full = per_graph.get(key)
         if full is None:
-            full = self._map_surviving(ctx.graph, ctx.platform, alive)
-            per_graph[ctx.alive] = full
+            full = self._map_surviving(
+                ctx.graph, ctx.platform, alive, ctx.speed
+            )
+            per_graph[key] = full
         return {i: full[i] for i in ctx.movable}
 
     def _map_surviving(
-        self, graph: TaskGraph, platform: Platform, alive: List[int]
+        self,
+        graph: TaskGraph,
+        platform: Platform,
+        alive: List[int],
+        speed: Tuple[float, ...] = (),
+        area_in_use: Tuple[Tuple[int, float], ...] = (),
     ) -> List[int]:
         from ..evaluation.evaluator import MappingEvaluator
 
-        sub = _surviving_platform(platform, alive)
+        sub = _surviving_platform(platform, alive, speed, area_in_use)
         evaluator = MappingEvaluator(
             graph,
             sub,

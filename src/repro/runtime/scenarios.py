@@ -26,8 +26,14 @@ Jobs share the platform's device slots first-come-first-served: a job's
 tasks queue behind all unfinished tasks of earlier arrivals on the same
 device (non-preemptive FIFO across jobs, priority order within a job).
 
-FPGA area budgets are enforced per job at submission; concurrent jobs are
-assumed to time-share reconfigurable area (no cross-job area accounting).
+FPGA area budgets are enforced twice: *statically* per job at submission
+(the cost model's feasibility check — a job whose own mapping overflows a
+budget is rejected), and *dynamically* across jobs by the engine's area
+ledger — concurrent jobs never co-reside beyond the platform budget; a
+task whose claim would oversubscribe the fabric waits for area to free
+(``AreaWait``) or, with a replan policy, the arriving job is re-mapped
+against the residual capacity (see :mod:`repro.runtime.engine`,
+"Shared resources").
 """
 
 from __future__ import annotations

@@ -80,3 +80,13 @@ def test_runtime_robustness_runs(capsys):
     assert "HEFT" in out and "SPFirstFit" in out
     assert "degradation" in out and "p95" in out
     assert "fails" in out and "execution(s) lost" in out
+
+
+def test_shared_resources_runs(capsys):
+    mod = _load("shared_resources")
+    mod.main(40)
+    out = capsys.readouterr().out
+    assert "cross-job FPGA area ledger" in out
+    assert "waited" in out and "fabric" in out
+    assert "link_slots" in out and "transfers queued" in out
+    assert "burned on rolled-back work" in out
