@@ -31,12 +31,26 @@ committed ``current`` median — the CI perf-smoke gate uses this with
 ratios absorb machine variance while still catching an accidental
 return to scalar per-genome evaluation, which costs ~5x or more.
 
+``--overhead KEY`` measures KEY twice — observability off and on
+(tracer + metrics registry installed via :func:`repro.obs.observe`) —
+interleaved round by round, and fails (exit 1) if the best enabled
+time exceeds the best disabled time by more than ``--max-overhead``
+(default 2%).  This is the CI gate behind the ``repro.obs`` hard
+contract: instrumentation off the hot path, <2% when enabled.
+
+Recorded sections are stamped with an ``env`` block
+(:func:`repro.obs.env.collect_env`: host, machine, python, numpy/BLAS,
+C-kernel path) so medians from different machines are comparable at a
+glance.  Committed medians are *not* regenerated when the stamp is
+added — the stamp rides along with the next genuine re-record.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record.py                    # refresh eval "current"
     PYTHONPATH=src python benchmarks/record.py --suite meta       # refresh meta "current"
     PYTHONPATH=src python benchmarks/record.py --suite meta --section baseline --force
     PYTHONPATH=src python benchmarks/record.py --suite meta --check nsgaii_smoke
+    PYTHONPATH=src python benchmarks/record.py --overhead sp_first_fit_n200
 """
 
 from __future__ import annotations
@@ -169,6 +183,59 @@ def measure_meta(key: str, *, scalar: bool = False) -> float:
     return _median_time(run, repeats)
 
 
+def _env_stamp() -> dict:
+    """Machine/toolchain metadata recorded next to the medians.
+
+    A subset of :func:`repro.obs.env.collect_env` — the keys that decide
+    whether two recorded medians are comparable (host, CPU count, numpy
+    and its BLAS backend, and whether the C kernel or the pure-python
+    fallback was measured).
+    """
+    from repro.obs.env import collect_env
+
+    env = collect_env()
+    keep = (
+        "hostname", "machine", "os", "cpu_count",
+        "python", "implementation", "numpy", "blas",
+        "kernel", "repro",
+    )
+    return {k: env[k] for k in keep if k in env}
+
+
+def check_overhead(key: str, *, meta: bool, max_overhead: float,
+                   rounds: int = 3) -> int:
+    """Gate the instrumentation overhead of one bench key.
+
+    Measures ``key`` with observability disabled and enabled, alternating
+    per round so machine drift (thermal, noisy neighbours) hits both
+    sides equally, then compares the *minimum* medians — the most
+    noise-robust statistic for a lower-bounded quantity.  Exits non-zero
+    when enabled/disabled exceeds ``1 + max_overhead``.
+    """
+    from repro import obs
+
+    meas = (lambda: measure_meta(key)) if meta else (lambda: measure(key))
+    off_times, on_times = [], []
+    for _ in range(rounds):
+        off_times.append(meas())
+        obs.observe()
+        try:
+            on_times.append(meas())
+        finally:
+            obs.shutdown()
+    best_off, best_on = min(off_times), min(on_times)
+    ratio = best_on / best_off
+    print(
+        f"{key}: off {best_off * 1e3:.2f} ms, on {best_on * 1e3:.2f} ms "
+        f"(overhead {100 * (ratio - 1):+.2f}%, limit {100 * max_overhead:g}%)"
+    )
+    if ratio > 1.0 + max_overhead:
+        print("OBSERVABILITY OVERHEAD: exceeded the allowed limit",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 SUITES = {"eval": BENCH_FILE, "meta": BENCH_META_FILE}
 
 
@@ -218,10 +285,28 @@ def main(argv=None) -> int:
         action="store_true",
         help="allow overwriting an existing 'baseline' section",
     )
+    parser.add_argument(
+        "--overhead",
+        metavar="KEY",
+        help="measure KEY with observability off vs on and fail if the"
+        " enabled run is more than --max-overhead slower",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.02,
+        help="allowed fractional slowdown with observability enabled"
+        " (default 0.02 = 2%%)",
+    )
     args = parser.parse_args(argv)
 
     bench_file = SUITES[args.suite]
     meta = args.suite == "meta"
+
+    if args.overhead:
+        return check_overhead(
+            args.overhead, meta=meta, max_overhead=args.max_overhead
+        )
 
     if args.check:
         data = load(bench_file)
@@ -274,6 +359,7 @@ def main(argv=None) -> int:
     data[args.section] = {
         "python": sys.version.split()[0],
         "numpy": np.__version__,
+        "env": _env_stamp(),
         "measures": measures,
     }
     if meta and args.section == "baseline":

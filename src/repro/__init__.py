@@ -39,7 +39,15 @@ Public API tour
   the paper's evaluation, plus the runtime-robustness noise sweep, the
   failure re-mapping policy sweep (:mod:`repro.experiments.robustness`)
   and the shared-resource contention sweep
-  (:mod:`repro.experiments.contention`).
+  (:mod:`repro.experiments.contention`);
+- :mod:`repro.obs` — the observability backbone: hierarchical span
+  tracing with Chrome trace-event export (open ``--trace`` output in
+  Perfetto), a counters/gauges/histograms metrics registry with one
+  ``snapshot()``/``merge()`` surface, the simulated-time engine
+  timeline, environment diagnostics (``repro env``) and the CLI
+  reporter (``--verbose``/``--quiet``).  Off by default; enabling it
+  never changes numeric results (``repro profile`` shows the
+  phase-time breakdown).
 
 Quickstart
 ----------
@@ -55,11 +63,11 @@ Quickstart
 True
 """
 
-from . import evaluation, graphs, mappers, parallel, platform, runtime, sp
+from . import evaluation, graphs, mappers, obs, parallel, platform, runtime, sp
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
-    "evaluation", "graphs", "mappers", "parallel", "platform", "runtime",
-    "sp", "__version__",
+    "evaluation", "graphs", "mappers", "obs", "parallel", "platform",
+    "runtime", "sp", "__version__",
 ]

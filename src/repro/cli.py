@@ -15,6 +15,16 @@ Commands
                extension study (robustness, replan, contention);
                ``--workers N`` fans the replications across a process
                pool with bit-identical results
+``profile``    run one mapper (and optionally a multi-job engine stream)
+               under full instrumentation: phase-time breakdown table,
+               metrics summary, optional Perfetto trace (``--trace``)
+``env``        print the environment diagnostic header (version, kernel
+               compile status, numpy/BLAS) for bug reports and benchmarks
+
+``--trace out.json`` on ``simulate``/``experiment`` records spans (and,
+for engine runs, the simulated-time timeline) to a Chrome trace-event
+file viewable at https://ui.perfetto.dev.  ``--verbose/--quiet`` adjust
+report volume; the default output is unchanged.
 
 Examples
 --------
@@ -34,6 +44,10 @@ Examples
     python -m repro experiment fig4 --scale smoke
     python -m repro experiment robustness --scale small --workers 4
     python -m repro experiment contention --scale smoke
+    python -m repro profile graph.json --algorithm sp-first-fit \
+        --arrivals 8 --period 0.05 --trace profile.json
+    python -m repro simulate graph.json mapping.json --trace run.json
+    python -m repro env
 """
 
 from __future__ import annotations
@@ -45,6 +59,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from . import obs
 from .evaluation import MappingEvaluator, render_gantt, simulate_trace
 from .graphs.generators import (
     WORKFLOW_FAMILIES,
@@ -81,6 +96,16 @@ from .sp import grow_decomposition_forest
 from .sp.analysis import forest_stats, sp_distance
 
 __all__ = ["main", "MAPPER_FACTORIES"]
+
+#: every user-facing line goes through the logging-backed reporter
+#: (``--verbose``/``--quiet``); default-level output is byte-identical
+#: to the bare ``print()`` calls it replaced
+R = obs.get_reporter()
+
+#: simulated-time Chrome events gathered by commands that run the
+#: engine while ``--trace`` is active; written next to the wall-clock
+#: spans by :func:`main` (reset at each invocation)
+_TRACE_EXTRA: List[dict] = []
 
 MAPPER_FACTORIES: Dict[str, Callable[[], object]] = {
     "single-node": single_node,
@@ -131,16 +156,16 @@ def cmd_generate(args) -> int:
         g = make_workflow(args.kind, args.n, rng)
         augment_workflow(g, rng)
     else:
-        print(f"unknown kind {args.kind!r}", file=sys.stderr)
+        R.error(f"unknown kind {args.kind!r}")
         return 2
     if args.output:
         save_graph(g, args.output)
-        print(f"wrote {g.n_tasks} tasks / {g.n_edges} edges to {args.output}")
+        R.out(f"wrote {g.n_tasks} tasks / {g.n_edges} edges to {args.output}")
     else:
         from .io import graph_to_dict
 
         json.dump(graph_to_dict(g), sys.stdout, indent=2)
-        print()
+        R.out()
     return 0
 
 
@@ -151,22 +176,22 @@ def cmd_decompose(args) -> int:
         g, rng=rng, cut_strategy=args.strategy
     )
     stats = forest_stats(g, forest)
-    print(f"graph: {g.n_tasks} tasks, {g.n_edges} edges")
-    print(
+    R.out(f"graph: {g.n_tasks} tasks, {g.n_edges} edges")
+    R.out(
         f"forest: {stats.n_trees} trees, {stats.n_cuts} cuts, "
         f"core fraction {stats.core_fraction:.1%}, "
         f"sp-distance {sp_distance(g):.3f}"
     )
     if args.trees:
         for k, tree in enumerate(forest.trees):
-            print(f"--- tree {k} {'(core)' if k == 0 else '(cut)'} ---")
-            print(tree.pretty())
+            R.out(f"--- tree {k} {'(core)' if k == 0 else '(cut)'} ---")
+            R.out(tree.pretty())
     if args.dot:
         from .io import forest_to_dot
 
         with open(args.dot, "w") as fh:
             fh.write(forest_to_dot(g, forest))
-        print(f"wrote {args.dot}")
+        R.out(f"wrote {args.dot}")
     return 0
 
 
@@ -176,7 +201,7 @@ def cmd_map(args) -> int:
     mapper = MAPPER_FACTORIES[args.algorithm]()
     result = mapper.map(evaluator, rng=np.random.default_rng(args.seed))
     improvement = evaluator.relative_improvement(result.mapping)
-    print(
+    R.out(
         f"{mapper.name}: makespan {result.makespan * 1e3:.2f} ms, "
         f"improvement {improvement:.1%}, "
         f"{result.n_evaluations} evaluations in {result.elapsed_s * 1e3:.1f} ms"
@@ -191,14 +216,14 @@ def cmd_map(args) -> int:
         )
         with open(args.output, "w") as fh:
             json.dump(doc, fh, indent=2)
-        print(f"wrote {args.output}")
+        R.out(f"wrote {args.output}")
     if args.dot:
         with open(args.dot, "w") as fh:
             fh.write(
                 graph_to_dot(g, mapping=result.mapping,
                              platform=evaluator.platform)
             )
-        print(f"wrote {args.dot}")
+        R.out(f"wrote {args.dot}")
     return 0
 
 
@@ -208,25 +233,25 @@ def cmd_evaluate(args) -> int:
     with open(args.mapping) as fh:
         mapping = mapping_from_dict(json.load(fh), g, evaluator.platform)
     reported = evaluator.reported_makespan(mapping)
-    print(f"reported makespan : {reported * 1e3:.2f} ms")
-    print(f"cpu baseline      : {evaluator.cpu_reported_makespan * 1e3:.2f} ms")
-    print(f"improvement       : {evaluator.relative_improvement(mapping):.1%}")
+    R.out(f"reported makespan : {reported * 1e3:.2f} ms")
+    R.out(f"cpu baseline      : {evaluator.cpu_reported_makespan * 1e3:.2f} ms")
+    R.out(f"improvement       : {evaluator.relative_improvement(mapping):.1%}")
     if args.gantt:
         trace = simulate_trace(evaluator.model, mapping)
-        print(render_gantt(trace, evaluator.model))
+        R.out(render_gantt(trace, evaluator.model))
     return 0
 
 
 def cmd_compare(args) -> int:
     g = load_graph(args.graph)
     evaluator = _evaluator(g, args)
-    print(f"{'algorithm':>16s} | {'improvement':>11s} | {'time':>10s}")
-    print("-" * 45)
+    R.out(f"{'algorithm':>16s} | {'improvement':>11s} | {'time':>10s}")
+    R.out("-" * 45)
     for name in args.algorithms:
         mapper = MAPPER_FACTORIES[name]()
         res = mapper.map(evaluator, rng=np.random.default_rng(args.seed))
         imp = evaluator.relative_improvement(res.mapping)
-        print(
+        R.out(
             f"{mapper.name:>16s} | {imp:>10.1%} | {res.elapsed_s * 1e3:>8.1f}ms"
         )
     return 0
@@ -324,33 +349,31 @@ def cmd_simulate(args) -> int:
 
     # cheap argument validation first — before any graph/mapper work
     if args.mapping and args.algorithm:
-        print("give a mapping file or --algorithm, not both", file=sys.stderr)
+        R.error("give a mapping file or --algorithm, not both")
         return 2
     if not args.mapping and not args.algorithm:
-        print("need a mapping file or --algorithm", file=sys.stderr)
+        R.error("need a mapping file or --algorithm")
         return 2
     if args.replications < 1:
-        print("--replications must be at least 1", file=sys.stderr)
+        R.error("--replications must be at least 1")
         return 2
     if args.arrivals < 1:
-        print("--arrivals must be at least 1", file=sys.stderr)
+        R.error("--arrivals must be at least 1")
         return 2
     if args.replications > 1 and args.arrivals > 1:
-        print("--arrivals and --replications are mutually exclusive",
-              file=sys.stderr)
+        R.error("--arrivals and --replications are mutually exclusive")
         return 2
     if args.gantt and (args.replications > 1 or args.arrivals > 1):
-        print("--gantt needs a single run (no --replications/--arrivals)",
-              file=sys.stderr)
+        R.error("--gantt needs a single run (no --replications/--arrivals)")
         return 2
     try:
         noise = _make_noise(args)
     except ValueError as exc:
-        print(exc, file=sys.stderr)
+        R.error(exc)
         return 2
     if args.replications > 1 and noise.deterministic:
-        print("deterministic replications are identical; --replications "
-              "needs a nonzero --noise level", file=sys.stderr)
+        R.error("deterministic replications are identical; --replications "
+              "needs a nonzero --noise level")
         return 2
     if (
         args.replan_policy != "fallback"
@@ -360,27 +383,27 @@ def cmd_simulate(args) -> int:
     ):
         # with a multi-job stream the policy still matters: arrivals under
         # FPGA area pressure are routed through it (no scenario needed)
-        print(f"--replan-policy {args.replan_policy} has no effect without "
+        R.error(f"--replan-policy {args.replan_policy} has no effect without "
               "a --fail/--slowdown scenario or a multi-job --arrivals "
-              "stream", file=sys.stderr)
+              "stream")
         return 2
     if args.link_slots is not None and args.link_slots < 0:
-        print("--link-slots must be >= 0 (0 = unlimited)", file=sys.stderr)
+        R.error("--link-slots must be >= 0 (0 = unlimited)")
         return 2
     if args.slowdown_replan_threshold <= 1.0:
-        print("--slowdown-replan-threshold must exceed 1", file=sys.stderr)
+        R.error("--slowdown-replan-threshold must exceed 1")
         return 2
 
     try:
         g = load_graph(args.graph)
         platform = _load_platform(args)
     except (OSError, ValueError, KeyError) as exc:
-        print(f"cannot load inputs: {exc}", file=sys.stderr)
+        R.error(f"cannot load inputs: {exc}")
         return 2
     try:
         scenarios = _parse_scenarios(args, platform)
     except ValueError as exc:
-        print(exc, file=sys.stderr)
+        R.error(exc)
         return 2
 
     model = None
@@ -389,8 +412,7 @@ def cmd_simulate(args) -> int:
             with open(args.mapping) as fh:
                 mapping = mapping_from_dict(json.load(fh), g, platform)
         except (OSError, ValueError, KeyError) as exc:
-            print(f"cannot load mapping {args.mapping!r}: {exc}",
-                  file=sys.stderr)
+            R.error(f"cannot load mapping {args.mapping!r}: {exc}")
             return 2
         source = "stored mapping"
     else:
@@ -404,37 +426,37 @@ def cmd_simulate(args) -> int:
     if model is None:
         model = CostModel(g, platform)
     if not model.is_feasible(mapping):
-        print(f"mapping violates an area budget "
-              f"(usage {model.area_usage(mapping)})", file=sys.stderr)
+        R.error(f"mapping violates an area budget "
+              f"(usage {model.area_usage(mapping)})")
         return 2
     analytic = model.simulate(mapping)
 
-    print(f"mapping           : {source}")
-    print(f"analytic makespan : {analytic * 1e3:.2f} ms")
+    R.out(f"mapping           : {source}")
+    R.out(f"analytic makespan : {analytic * 1e3:.2f} ms")
     for scn in scenarios:
-        print(f"scenario          : {scn.describe()}")
+        R.out(f"scenario          : {scn.describe()}")
     if args.replan_policy != "fallback":
-        print(f"replan policy     : {args.replan_policy}")
+        R.out(f"replan policy     : {args.replan_policy}")
         if args.slowdown:
-            print(f"slowdown replan   : at cumulative factor >= "
+            R.out(f"slowdown replan   : at cumulative factor >= "
                   f"{args.slowdown_replan_threshold:g}")
     if args.link_slots is not None:
-        print(f"link slots        : "
+        R.out(f"link slots        : "
               f"{args.link_slots if args.link_slots else 'unlimited'}")
 
     def _print_shared(trace) -> None:
-        print(f"energy            : {trace.energy_j:.1f} J "
+        R.out(f"energy            : {trace.energy_j:.1f} J "
               f"(compute {trace.compute_energy_j:.1f}, "
               f"transfers {trace.transfer_energy_j:.2f}, "
               f"idle {trace.idle_energy_j:.1f})")
         if trace.wasted_energy_j:
-            print(f"wasted energy     : {trace.wasted_energy_j:.1f} J "
+            R.out(f"wasted energy     : {trace.wasted_energy_j:.1f} J "
                   f"(rolled-back work)")
         if trace.n_area_waits:
-            print(f"area waits        : {trace.n_area_waits} task(s), "
+            R.out(f"area waits        : {trace.n_area_waits} task(s), "
                   f"{trace.area_wait_time * 1e3:.1f} ms total")
         if trace.n_link_waits:
-            print(f"link waits        : {trace.n_link_waits} transfer(s), "
+            R.out(f"link waits        : {trace.n_link_waits} transfer(s), "
                   f"{trace.link_wait_time * 1e3:.1f} ms total")
 
     try:
@@ -447,9 +469,13 @@ def cmd_simulate(args) -> int:
                 slowdown_replan_threshold=args.slowdown_replan_threshold,
             )
             trace = engine.run(jobs, rng=args.seed)
-            print(f"stream            : {args.arrivals} arrivals, "
+            if obs.enabled():
+                _TRACE_EXTRA.extend(
+                    obs.runtime_trace_to_chrome_events(trace, platform)
+                )
+            R.out(f"stream            : {args.arrivals} arrivals, "
                   f"period {args.period * 1e3:g} ms")
-            print(f"serving           : {throughput_report(trace)}")
+            R.out(f"serving           : {throughput_report(trace)}")
             _print_shared(trace)
             return 0
 
@@ -462,26 +488,26 @@ def cmd_simulate(args) -> int:
                 slowdown_replan_threshold=args.slowdown_replan_threshold,
             )
             report = robustness_report(traces, analytic)
-            print(f"replications      : {report.n} ({noise.describe()})")
-            print(f"mean makespan     : {report.mean * 1e3:.2f} ms "
+            R.out(f"replications      : {report.n} ({noise.describe()})")
+            R.out(f"mean makespan     : {report.mean * 1e3:.2f} ms "
                   f"(degradation {report.degradation:+.1%})")
-            print(f"p95 makespan      : {report.p95 * 1e3:.2f} ms "
+            R.out(f"p95 makespan      : {report.p95 * 1e3:.2f} ms "
                   f"(degradation {report.p95_degradation:+.1%})")
-            print(f"best / worst      : {report.best * 1e3:.2f} ms / "
+            R.out(f"best / worst      : {report.best * 1e3:.2f} ms / "
                   f"{report.worst * 1e3:.2f} ms")
-            print(f"mean energy       : "
+            R.out(f"mean energy       : "
                   f"{float(np.mean([t.energy_j for t in traces])):.1f} J "
                   f"per run")
             mean_we = float(np.mean([t.wasted_energy_j for t in traces]))
             if mean_we > 0:
-                print(f"mean wasted energy: {mean_we:.1f} J "
+                R.out(f"mean wasted energy: {mean_we:.1f} J "
                       f"(rolled-back work)")
             mean_aw = float(np.mean([t.area_wait_time for t in traces]))
             mean_lw = float(np.mean([t.link_wait_time for t in traces]))
             if mean_aw > 0:
-                print(f"mean area wait    : {mean_aw * 1e3:.1f} ms")
+                R.out(f"mean area wait    : {mean_aw * 1e3:.1f} ms")
             if mean_lw > 0:
-                print(f"mean link wait    : {mean_lw * 1e3:.1f} ms")
+                R.out(f"mean link wait    : {mean_lw * 1e3:.1f} ms")
             return 0
 
         trace = simulate_mapping(
@@ -491,22 +517,26 @@ def cmd_simulate(args) -> int:
             slowdown_replan_threshold=args.slowdown_replan_threshold,
         )
     except ValueError as exc:  # bad stream/job parameters
-        print(exc, file=sys.stderr)
+        R.error(exc)
         return 2
     except RuntimeError as exc:  # the scenario left no feasible platform
-        print(f"simulation aborted: {exc}", file=sys.stderr)
+        R.error(f"simulation aborted: {exc}")
         return 1
-    print(f"simulated makespan: {trace.makespan * 1e3:.2f} ms")
+    if obs.enabled():
+        _TRACE_EXTRA.extend(
+            obs.runtime_trace_to_chrome_events(trace, platform)
+        )
+    R.out(f"simulated makespan: {trace.makespan * 1e3:.2f} ms")
     if trace.n_killed:
-        print(f"tasks killed      : {trace.n_killed}")
+        R.out(f"tasks killed      : {trace.n_killed}")
     n_remapped = sum(job.n_remapped for job in trace.jobs)
     if n_remapped:
-        print(f"tasks remapped    : {n_remapped}")
+        R.out(f"tasks remapped    : {n_remapped}")
     if trace.n_fallback_dead:
-        print(f"dead fallbacks    : {trace.n_fallback_dead}")
+        R.out(f"dead fallbacks    : {trace.n_fallback_dead}")
     _print_shared(trace)
     if args.gantt:
-        print(render_gantt(trace, model))
+        R.out(render_gantt(trace, model))
     return 0
 
 
@@ -522,22 +552,111 @@ def cmd_experiment(args) -> int:
         "fig6": fig6.run, "fig7": fig7.run,
     }
     workers = args.workers
+    # every driver takes a progress callback; at the default level it is
+    # dropped by the reporter, with --verbose it streams per-point lines
+    kw = dict(scale=args.scale, workers=workers, progress=R.detail)
     if args.name == "table1":
-        print(format_table(table1.run(scale=args.scale, workers=workers)))
+        R.out(format_table(table1.run(**kw)))
     elif args.name == "robustness":
-        robustness.print_report(
-            robustness.run(scale=args.scale, workers=workers)
-        )
+        robustness.print_report(robustness.run(**kw))
     elif args.name == "replan":
-        robustness.print_report(
-            robustness.run_replan(scale=args.scale, workers=workers)
-        )
+        robustness.print_report(robustness.run_replan(**kw))
     elif args.name == "contention":
-        contention.print_report(
-            contention.run(scale=args.scale, workers=workers)
-        )
+        contention.print_report(contention.run(**kw))
     else:
-        print_sweep(drivers[args.name](scale=args.scale, workers=workers))
+        print_sweep(drivers[args.name](**kw))
+    return 0
+
+
+def _metric_line(name: str, value) -> str:
+    """One rendered metrics row (counters, gauges and histograms)."""
+    if isinstance(value, dict):
+        if "gauge" in value:
+            value = value["gauge"]
+        else:  # histogram snapshot
+            mean = value.get("mean")
+            return (
+                f"{name:<28s} n={value['n']}"
+                + (f" mean={mean:.6g}" if mean is not None else "")
+                + (f" max={value['max']:.6g}"
+                   if value.get("max") is not None else "")
+            )
+    if isinstance(value, float):
+        return f"{name:<28s} {value:.6g}"
+    return f"{name:<28s} {value}"
+
+
+def cmd_profile(args) -> int:
+    from .runtime import RuntimeEngine, periodic_stream
+
+    if args.arrivals < 0:
+        R.error("--arrivals must be >= 0")
+        return 2
+    try:
+        g = load_graph(args.graph)
+        platform = _load_platform(args)
+    except (OSError, ValueError, KeyError) as exc:
+        R.error(f"cannot load inputs: {exc}")
+        return 2
+
+    tracer, registry = obs.observe()
+    try:
+        evaluator = _evaluator(g, args, platform)
+        mapper = MAPPER_FACTORIES[args.algorithm]()
+        result = mapper.map(evaluator, rng=np.random.default_rng(args.seed))
+        extra_events: List[dict] = []
+        rtrace = None
+        if args.arrivals > 1:
+            jobs = periodic_stream(
+                g, list(result.mapping), args.arrivals, period=args.period
+            )
+            engine = RuntimeEngine(platform)
+            rtrace = engine.run(jobs, rng=args.seed)
+            extra_events = obs.runtime_trace_to_chrome_events(
+                rtrace, platform
+            )
+    finally:
+        obs.shutdown()
+
+    R.out(f"profile           : {mapper.name} on {g.n_tasks} tasks / "
+          f"{platform.n_devices} devices")
+    R.out(f"makespan          : {result.makespan * 1e3:.2f} ms "
+          f"({result.n_evaluations} evaluations)")
+    if rtrace is not None:
+        R.out(f"stream            : {args.arrivals} arrivals, "
+              f"period {args.period * 1e3:g} ms, "
+              f"simulated makespan {rtrace.makespan * 1e3:.2f} ms")
+    R.out("")
+    totals = tracer.phase_totals()
+    run_ns = sum(
+        ns for name, (_c, ns) in totals.items()
+        if name in ("mapper.run", "engine.run")
+    ) or 1
+    R.out(f"{'phase':<28s} {'calls':>6s} {'total':>12s} {'share':>7s}")
+    R.out("-" * 56)
+    for name, (calls, total_ns) in totals.items():
+        R.out(f"{name:<28s} {calls:>6d} {total_ns / 1e6:>9.2f} ms "
+              f"{total_ns / run_ns:>6.1%}")
+    snapshot = registry.snapshot()
+    if snapshot:
+        R.out("")
+        R.out("metrics")
+        R.out("-" * 56)
+        for name, value in snapshot.items():
+            R.out(_metric_line(name, value))
+    if args.trace:
+        obs.write_chrome(tracer, args.trace, extra_events=extra_events)
+        R.out("")
+        R.out(f"wrote {args.trace} (open at https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_env(args) -> int:
+    env = obs.collect_env()
+    if args.json:
+        R.out(json.dumps(env, indent=2))
+    else:
+        R.out(obs.format_env(env))
     return 0
 
 
@@ -550,6 +669,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also show debug-level report lines")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the report body (warnings/errors only)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("generate", help="generate a task graph")
@@ -648,6 +771,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schedules", type=int, default=100)
     p.add_argument("--gantt", action="store_true",
                    help="render the simulated schedule as ASCII Gantt")
+    p.add_argument("--trace", metavar="OUT.json",
+                   help="record a Chrome trace (wall-clock spans + the "
+                        "simulated-time engine timeline) viewable in "
+                        "Perfetto")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("experiment", help="regenerate a paper figure/table")
@@ -659,13 +786,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool size for the experiment backbone "
                         "(default: scale config; 0 = one worker per CPU)")
+    p.add_argument("--trace", metavar="OUT.json",
+                   help="record a Chrome trace of the sweep (per-point "
+                        "spans, per-worker lanes) viewable in Perfetto")
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "profile",
+        help="phase-time breakdown of a mapper (and optional engine) run",
+    )
+    p.add_argument("graph")
+    p.add_argument("--algorithm", default="sp-first-fit",
+                   choices=sorted(MAPPER_FACTORIES))
+    p.add_argument("--platform", help="platform JSON (default: paper platform)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--eval-seed", type=int, default=0)
+    p.add_argument("--schedules", type=int, default=100)
+    p.add_argument("--arrivals", type=int, default=0,
+                   help="also run a multi-job engine stream of N arrivals "
+                        "and include its simulated-time timeline")
+    p.add_argument("--period", type=float, default=0.0,
+                   help="arrival period in seconds (with --arrivals)")
+    p.add_argument("--trace", metavar="OUT.json",
+                   help="write the Chrome trace for https://ui.perfetto.dev")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "env", help="print the environment diagnostic header"
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.set_defaults(func=cmd_env)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    R.configure(verbose=args.verbose, quiet=args.quiet)
+    # --trace on simulate/experiment: observe around the whole command
+    # and write the combined document afterwards.  (profile manages its
+    # own tracer so its report can read the collected data.)
+    trace_path = getattr(args, "trace", None)
+    if trace_path and args.func is not cmd_profile:
+        _TRACE_EXTRA.clear()
+        tracer, _registry = obs.observe()
+        try:
+            rc = args.func(args)
+        finally:
+            obs.shutdown()
+        if rc == 0:
+            obs.write_chrome(tracer, trace_path, extra_events=_TRACE_EXTRA)
+            R.out(f"wrote {trace_path} (open at https://ui.perfetto.dev)")
+        return rc
     return args.func(args)
 
 

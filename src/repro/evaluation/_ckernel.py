@@ -567,11 +567,12 @@ def _compile(src_hash: str) -> Optional[str]:
 
 _LOADED: Optional[CKernel] = None
 _TRIED = False
+_SO_PATH: Optional[str] = None
 
 
 def load_ckernel() -> Optional[CKernel]:
     """The process-wide kernel, compiled/loaded on first use (or None)."""
-    global _LOADED, _TRIED
+    global _LOADED, _TRIED, _SO_PATH
     if _TRIED:
         return _LOADED
     _TRIED = True
@@ -585,6 +586,25 @@ def load_ckernel() -> Optional[CKernel]:
         return None
     try:
         _LOADED = CKernel(ctypes.CDLL(so_path))
+        _SO_PATH = so_path
     except Exception:  # noqa: BLE001
         _LOADED = None
     return _LOADED
+
+
+def kernel_status() -> dict:
+    """Which span kernel this process runs, and why — the ``repro env``
+    / benchmark-stamp view of :func:`load_ckernel`.
+
+    Triggers a compile attempt on first call (same as any evaluation
+    would), so ``available`` reflects what a real run will actually use.
+    """
+    kern = load_ckernel()
+    return {
+        "kernel": "c" if kern is not None else "python",
+        "available": kern is not None,
+        "pure_python_forced": bool(os.environ.get("REPRO_PURE_PYTHON")),
+        "so_path": _SO_PATH,
+        "cache_dir": _cache_dir(),
+        "cflags": " ".join(_CFLAGS),
+    }

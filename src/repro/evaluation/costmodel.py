@@ -75,6 +75,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graphs.taskgraph import DEFAULT_DATA_MB, TaskGraph
+from ..obs import metrics as _metrics
 from ..platform.platform import Platform
 from ..platform.taskmodel import exec_time_table
 from ._ckernel import load_ckernel
@@ -399,6 +400,12 @@ class CostModel:
             if simulated:
                 self.n_batched_evaluations += simulated
                 self.n_batch_calls += 1
+            registry = _metrics.get_registry()
+            if registry is not None:
+                registry.counter("kernel.calls.c_dedup").inc()
+                registry.histogram("kernel.batch_size").observe_int(n_lanes)
+                registry.counter("kernel.dedup_hits").inc(n_lanes - simulated)
+                registry.counter("kernel.dedup_lanes").inc(n_lanes)
             return res
         idx = None
         if check_feasibility:
@@ -412,6 +419,15 @@ class CostModel:
         n_lanes = pop.shape[0]
         self.n_batched_evaluations += n_lanes
         self.n_batch_calls += 1
+        registry = _metrics.get_registry()
+        if registry is not None:
+            path = (
+                "c_batch" if self._ck is not None
+                else "py_batch" if n_lanes >= _POP_BATCH_MIN
+                else "py_scalar"
+            )
+            registry.counter(f"kernel.calls.{path}").inc()
+            registry.histogram("kernel.batch_size").observe_int(n_lanes)
         res = np.empty(n_lanes)
         if self._ck is not None:
             self._span_batch_c(

@@ -45,6 +45,7 @@ from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics as _metrics
 from ..sp.subgraphs import schedule_span
 from .costmodel import AREA_TOL, INFEASIBLE, CostModel, area_guard_band
 from .kernel import INF, simulate_batch, simulate_span
@@ -115,6 +116,15 @@ class DeltaEvaluator:
         self._area_limits: List[float] = [
             model._area_limits[d] for d in self._area_devs
         ]
+
+        # Suffix-length histogram, captured once here so the per-move
+        # cost when observability is on stays one attribute test plus a
+        # bucket increment — and exactly one attribute test when off.
+        registry = _metrics.get_registry()
+        self._suffix_hist = (
+            registry.histogram("delta.suffix_len")
+            if registry is not None else None
+        )
 
         n = self.n
         self._map: List[int] = []
@@ -348,6 +358,8 @@ class DeltaEvaluator:
         model = self.model
         model.n_delta_evaluations += 1
         model.delta_work += (self.n - first_pos) / self.n
+        if self._suffix_hist is not None:
+            self._suffix_hist.observe_int(self.n - first_pos)
 
         if self._ck is not None:
             # the C side applies the move, simulates the suffix against
@@ -457,6 +469,11 @@ class DeltaEvaluator:
             res[chunk] = ms
             model.n_delta_evaluations += B
             model.delta_work += B * (n - k) / n
+            if self._suffix_hist is not None:
+                for idx in chunk:
+                    self._suffix_hist.observe_int(
+                        n - items[idx][0].first_pos
+                    )
         return res
 
     # ------------------------------------------------------------------
@@ -498,6 +515,8 @@ class DeltaEvaluator:
         model = self.model
         model.n_delta_evaluations += 1
         model.delta_work += (self.n - k) / self.n
+        if self._suffix_hist is not None:
+            self._suffix_hist.observe_int(self.n - k)
         if self._ck is not None:
             self.base_makespan = self._ck.lib.repro_rebuild_from(
                 self._ctx_p,

@@ -28,6 +28,8 @@ import numpy as np
 from ..evaluation.evaluator import MappingEvaluator
 from ..graphs.taskgraph import TaskGraph
 from ..mappers.base import Mapper
+from ..obs import metrics as _obs_metrics
+from ..obs import trace as _trace
 from ..parallel import parallel_map
 from ..platform.platform import Platform
 from .metrics import AggregateStats, aggregate
@@ -135,12 +137,20 @@ def run_point(
         (g, gseed, list(mappers), platform, n_random_schedules)
         for g, gseed in zip(graphs, graph_seeds)
     ]
-    for rows in parallel_map(_point_graph_worker, items, workers=workers,
-                             executor=executor):
-        for name, imp, elapsed, n_evals in rows:
-            improvements[name].append(imp)
-            times[name].append(elapsed)
-            evals[name].append(n_evals)
+    with _trace.span(
+        "experiment.point", "experiment",
+        {"x": x, "graphs": len(items)} if _trace.enabled() else None,
+    ):
+        for rows in parallel_map(_point_graph_worker, items, workers=workers,
+                                 executor=executor):
+            for name, imp, elapsed, n_evals in rows:
+                improvements[name].append(imp)
+                times[name].append(elapsed)
+                evals[name].append(n_evals)
+    registry = _obs_metrics.get_registry()
+    if registry is not None:
+        registry.counter("experiment.points").inc()
+        registry.counter("experiment.graphs").inc(len(items))
     return PointResult(
         x=x,
         improvements={k: aggregate(v) for k, v in improvements.items()},

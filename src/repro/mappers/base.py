@@ -18,6 +18,8 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..evaluation.evaluator import MappingEvaluator
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 
 __all__ = ["Mapper", "MappingResult"]
 
@@ -65,8 +67,12 @@ class Mapper(abc.ABC):
         batched_before = getattr(evaluator, "n_batched_evaluations", 0)
         calls_before = getattr(evaluator, "n_batch_calls", 0)
         equiv_before = getattr(evaluator, "n_equivalent_evaluations", None)
+        cache_hits_before = getattr(evaluator, "hits", None)
+        cache_misses_before = getattr(evaluator, "misses", 0)
         t0 = time.perf_counter()
-        mapping, stats = self._run(evaluator, rng)
+        with _trace.span("mapper.run", "mapper", {"mapper": self.name}
+                         if _trace.enabled() else None):
+            mapping, stats = self._run(evaluator, rng)
         elapsed = time.perf_counter() - t0
         stats.setdefault(
             "n_simulations",
@@ -96,13 +102,37 @@ class Mapper(abc.ABC):
             )
         if mapping.min() < 0 or mapping.max() >= evaluator.n_devices:
             raise ValueError(f"{self.name}: device index out of range")
-        return MappingResult(
+        result = MappingResult(
             mapping=mapping,
             makespan=evaluator.construction_makespan(mapping),
             elapsed_s=elapsed,
             n_evaluations=evaluator.n_evaluations - evals_before,
             stats=stats,
         )
+        registry = _metrics.get_registry()
+        if registry is not None:
+            # Absorb this run's ad-hoc counters into the registry.
+            # Write-only: nothing here feeds back into any algorithm.
+            registry.counter("mapper.runs").inc()
+            registry.counter("mapper.n_evaluations").inc(result.n_evaluations)
+            for key in ("n_simulations", "n_delta_evaluations",
+                        "n_batched_evaluations", "n_equivalent_evaluations"):
+                if key in stats:
+                    registry.counter(f"mapper.{key}").inc(stats[key])
+            if stats.get("batch_size_mean"):
+                registry.gauge("mapper.batch_size_mean").set(
+                    stats["batch_size_mean"]
+                )
+            if cache_hits_before is not None:
+                registry.counter("mapper.cache_hits").inc(
+                    evaluator.hits - cache_hits_before
+                )
+                registry.counter("mapper.cache_misses").inc(
+                    evaluator.misses - cache_misses_before
+                )
+            registry.histogram("mapper.elapsed_s").observe(result.elapsed_s)
+            registry.histogram("mapper.makespan").observe(result.makespan)
+        return result
 
     @abc.abstractmethod
     def _run(

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..evaluation.delta import Candidate, DeltaEvaluator
 from ..evaluation.evaluator import MappingEvaluator
+from ..obs import trace as _trace
 from ..sp.subgraphs import series_parallel_candidates, single_node_candidates
 from .base import Mapper
 
@@ -140,7 +141,8 @@ class DecompositionMapper(Mapper):
     def _run(
         self, evaluator: MappingEvaluator, rng: np.random.Generator
     ) -> Tuple[np.ndarray, Dict[str, float]]:
-        subgraphs = self.candidate_index_sets(evaluator, rng)
+        with _trace.span("mapper.decompose", "mapper"):
+            subgraphs = self.candidate_index_sets(evaluator, rng)
         n_devices = evaluator.n_devices
         mapping = evaluator.cpu_mapping()
         cap = max(1, int(np.ceil(self.iteration_cap_factor * evaluator.n_tasks)))
@@ -153,33 +155,37 @@ class DecompositionMapper(Mapper):
         # energy-aware mapper) fall back to full trial evaluations.
         model = getattr(evaluator, "model", None)
         if type(self)._objective is DecompositionMapper._objective and model is not None:
-            delta = DeltaEvaluator(model)
-            prepared = [delta.candidate(sub) for sub in subgraphs]
-            dmoves = [
-                (cand, d) for cand in prepared for d in range(n_devices)
-            ]
-            if self.heuristic == "basic":
-                mapping, current, iterations = self._run_basic_delta(
-                    delta, mapping, dmoves, cap
-                )
-            else:
-                mapping, current, iterations = self._run_gamma_delta(
-                    delta, mapping, dmoves, cap
-                )
+            with _trace.span("mapper.construct", "mapper"):
+                delta = DeltaEvaluator(model)
+                prepared = [delta.candidate(sub) for sub in subgraphs]
+                dmoves = [
+                    (cand, d) for cand in prepared for d in range(n_devices)
+                ]
+            with _trace.span("mapper.improve", "mapper"):
+                if self.heuristic == "basic":
+                    mapping, current, iterations = self._run_basic_delta(
+                        delta, mapping, dmoves, cap
+                    )
+                else:
+                    mapping, current, iterations = self._run_gamma_delta(
+                        delta, mapping, dmoves, cap
+                    )
             n_moves = len(dmoves)
         else:
-            moves: List[Tuple[np.ndarray, int]] = [
-                (sub, d) for sub in subgraphs for d in range(n_devices)
-            ]
-            current = self._objective(evaluator, mapping)
-            if self.heuristic == "basic":
-                mapping, current, iterations = self._run_basic(
-                    evaluator, mapping, current, moves, cap
-                )
-            else:
-                mapping, current, iterations = self._run_gamma(
-                    evaluator, mapping, current, moves, cap
-                )
+            with _trace.span("mapper.construct", "mapper"):
+                moves: List[Tuple[np.ndarray, int]] = [
+                    (sub, d) for sub in subgraphs for d in range(n_devices)
+                ]
+                current = self._objective(evaluator, mapping)
+            with _trace.span("mapper.improve", "mapper"):
+                if self.heuristic == "basic":
+                    mapping, current, iterations = self._run_basic(
+                        evaluator, mapping, current, moves, cap
+                    )
+                else:
+                    mapping, current, iterations = self._run_gamma(
+                        evaluator, mapping, current, moves, cap
+                    )
             n_moves = len(moves)
         stats = {
             "iterations": float(iterations),

@@ -1,0 +1,120 @@
+"""CLI output through stdlib ``logging``: one reporter, three volumes.
+
+Every user-facing line the ``repro`` CLI prints flows through a
+:class:`Reporter` — a thin facade over a dedicated ``logging`` logger —
+instead of bare ``print()``.  The contract that keeps existing
+behaviour (and the CLI tests' byte-for-byte stdout assertions) intact:
+
+* **default** — :meth:`Reporter.out` lines appear on stdout exactly as
+  ``print`` produced them: the formatter is ``%(message)s``, nothing
+  prepended, newline appended.
+* ``--verbose`` — additionally shows :meth:`Reporter.detail` lines
+  (progress ticks, per-point timings) at DEBUG level.
+* ``--quiet`` — suppresses the report body entirely; only
+  :meth:`Reporter.warn` / :meth:`Reporter.error` still reach stderr.
+
+Info/debug go to stdout, warnings and errors to stderr, matching the
+``print(..., file=sys.stderr)`` split the CLI used before.  Streams are
+looked up at emit time (not bound at handler construction) so pytest's
+``capsys`` redirection and shell redirection of an already-running
+process both behave.
+
+Because the backend is a real logger (``repro.cli``), embedders can
+attach their own handlers, silence it, or re-route it into an
+application log without touching this module — set
+``configure(managed=False)`` semantics by just not calling
+:meth:`Reporter.configure`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["Reporter", "get_reporter"]
+
+
+class _DynamicStreamHandler(logging.Handler):
+    """Writes ``%(message)s`` + newline to a stream resolved per record.
+
+    Records at WARNING and above go to the *current* ``sys.stderr``,
+    the rest to the *current* ``sys.stdout`` — resolved at emit time so
+    test harnesses that swap the module attributes capture everything.
+    """
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            stream = (
+                sys.stderr if record.levelno >= logging.WARNING
+                else sys.stdout
+            )
+            stream.write(record.getMessage() + "\n")
+        except Exception:  # noqa: BLE001 - reporting must never crash a run
+            self.handleError(record)
+
+
+class Reporter:
+    """The CLI's output surface, volume-controlled by --verbose/--quiet."""
+
+    def __init__(self, name: str = "repro.cli") -> None:
+        self._logger = logging.getLogger(name)
+        self._configured = False
+
+    def configure(self, *, verbose: bool = False, quiet: bool = False) -> None:
+        """(Re)install the CLI handler and set the volume.
+
+        Idempotent: repeated CLI invocations in one process (the test
+        suite calls ``main()`` dozens of times) reuse a single handler.
+        ``quiet`` wins over ``verbose`` if both are passed.
+        """
+        logger = self._logger
+        if not self._configured:
+            logger.handlers.clear()
+            logger.addHandler(_DynamicStreamHandler())
+            logger.propagate = False
+            self._configured = True
+        if quiet:
+            logger.setLevel(logging.WARNING)
+        elif verbose:
+            logger.setLevel(logging.DEBUG)
+        else:
+            logger.setLevel(logging.INFO)
+
+    # ------------------------------------------------------------------
+    def out(self, message: str = "") -> None:
+        """A default-visible report line (the old ``print``)."""
+        if not self._configured:
+            self.configure()
+        self._logger.info(message)
+
+    def detail(self, message: str) -> None:
+        """A --verbose-only line (progress ticks, per-phase timings)."""
+        if not self._configured:
+            self.configure()
+        self._logger.debug(message)
+
+    def warn(self, message: str) -> None:
+        """A warning — stderr, survives --quiet."""
+        if not self._configured:
+            self.configure()
+        self._logger.warning(message)
+
+    def error(self, message: str) -> None:
+        """An error — stderr, survives --quiet (the old
+        ``print(..., file=sys.stderr)``)."""
+        if not self._configured:
+            self.configure()
+        self._logger.error(message)
+
+    @property
+    def verbose(self) -> bool:
+        """True when --verbose is active (callers can gate extra work)."""
+        return self._logger.level <= logging.DEBUG and self._configured
+
+
+_reporter = Reporter()
+
+
+def get_reporter() -> Reporter:
+    """The process-wide CLI reporter."""
+    return _reporter

@@ -1,0 +1,163 @@
+"""Simulated-time timeline export for runtime-engine traces.
+
+A :class:`~repro.runtime.engine.RuntimeTrace` already contains a full
+per-task execution record (:class:`~repro.evaluation.trace.TaskTrace`
+per task per job) plus the typed event log — everything a timeline
+needs.  This module converts that *simulated-time* record into Chrome
+trace events so a multi-job engine run renders in Perfetto as device
+lanes with task blocks, job rows, and wait/failure markers.
+
+The conversion reads a finished trace; it never touches the engine's
+event loop, so enabling it cannot perturb simulation results.
+
+Simulated seconds map to trace microseconds at :data:`TIME_SCALE`
+(1 s → 1 ms by default) purely for display; ``args`` on every event
+carry the true simulated seconds.  The events use their own Chrome
+``pid`` so a combined export (wall-clock mapper spans + simulated
+engine timeline, as written by ``repro profile --trace``) shows the two
+time domains as separate processes instead of interleaving them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..platform import Platform
+    from ..runtime.engine import RuntimeTrace
+
+__all__ = ["runtime_trace_to_chrome_events", "TIME_SCALE"]
+
+#: Trace microseconds per simulated second (display scale only).
+TIME_SCALE = 1e3
+
+#: Event kinds exported as instant markers, and the lane they land on:
+#: ``"device"`` pins the marker to the event's device lane, ``"jobs"``
+#: to the per-job overview lane.
+_INSTANT_KINDS = {
+    "area-wait": "device",
+    "link-wait": "jobs",
+    "device-slowed": "device",
+    "device-failed": "device",
+    "fallback-dead": "jobs",
+    "task-killed": "device",
+    "task-remapped": "device",
+    "job-arrived": "jobs",
+    "job-completed": "jobs",
+}
+
+
+def runtime_trace_to_chrome_events(
+    trace: "RuntimeTrace",
+    platform: Optional["Platform"] = None,
+    *,
+    pid: int = 1,
+) -> List[dict]:
+    """Chrome trace events (one flat list) for a finished engine run.
+
+    Lanes: tid 0 is a per-job overview row (one block per job from
+    arrival to completion); tid ``1 + d`` is device ``d``, carrying one
+    block per task execution and instant markers for waits, kills,
+    remaps, slowdowns and failures.  Feed the result to
+    :func:`repro.obs.trace.to_chrome` via ``extra_events`` or wrap it in
+    ``{"traceEvents": [...]}`` directly.
+    """
+    n_devices = len(trace.device_busy)
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "engine (simulated time)"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": "jobs"},
+        },
+    ]
+    for d in range(n_devices):
+        label = (
+            platform.devices[d].name
+            if platform is not None and d < len(platform.devices)
+            else f"device {d}"
+        )
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 1 + d,
+            "args": {"name": label},
+        })
+
+    for job in trace.jobs:
+        events.append({
+            "name": job.name,
+            "cat": "job",
+            "ph": "X",
+            "ts": job.arrival * TIME_SCALE,
+            "dur": max(0.0, (job.completion - job.arrival)) * TIME_SCALE,
+            "pid": pid,
+            "tid": 0,
+            "args": {
+                "arrival_s": job.arrival,
+                "completion_s": job.completion,
+                "n_tasks": len(job.tasks),
+                "n_killed": job.n_killed,
+                "n_remapped": job.n_remapped,
+            },
+        })
+        for rec in job.tasks:
+            ev = {
+                "name": f"{job.name}:t{rec.task}",
+                "cat": "task",
+                "ph": "X",
+                "ts": rec.start * TIME_SCALE,
+                "dur": max(0.0, rec.finish - rec.start) * TIME_SCALE,
+                "pid": pid,
+                "tid": 1 + rec.device,
+                "args": {
+                    "job": job.name,
+                    "task": rec.task,
+                    "ready_s": rec.ready,
+                    "start_s": rec.start,
+                    "finish_s": rec.finish,
+                    "waited_s": rec.waited,
+                },
+            }
+            if rec.slot >= 0:
+                ev["args"]["slot"] = rec.slot
+            if rec.streamed:
+                ev["args"]["streamed"] = True
+            events.append(ev)
+
+    for record in trace.events:
+        kind = record.kind
+        lane_rule = _INSTANT_KINDS.get(kind)
+        if lane_rule is None:
+            continue
+        device = getattr(record, "device", None)
+        tid = (
+            1 + device
+            if lane_rule == "device" and device is not None
+            else 0
+        )
+        args = {
+            k: v
+            for k, v in vars(record).items()
+            if k != "time" and not isinstance(v, (list, dict))
+        }
+        events.append({
+            "name": kind,
+            "cat": "event",
+            "ph": "i",
+            "s": "t",
+            "ts": record.time * TIME_SCALE,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return events

@@ -1,0 +1,329 @@
+"""Hierarchical span tracing with Chrome trace-event export.
+
+A :class:`Tracer` records *spans* — named wall-clock intervals with an
+optional category and attribute dict — on integer *lanes* (Chrome trace
+``tid``\\ s).  Spans are plain tuples appended to a list; nesting is by
+containment (a span opened inside another span lies within its interval,
+which is exactly how the Chrome trace-event viewer and Perfetto render
+hierarchy for ``ph: "X"`` complete events).  A run therefore renders as
+a real timeline: ``repro profile`` and the ``--trace`` CLI flags write
+the export of :func:`to_chrome` straight to a file Perfetto can open.
+
+Off by default, and cheap when off: the module-level :func:`span` /
+:func:`instant` helpers return a shared no-op singleton when no tracer
+is installed — no tracer lookup beyond one module-global load, no
+allocation, no clock read.  Instrumented code therefore never needs its
+own "is tracing on" branches, and the disabled cost is a function call
+returning a cached object.
+
+The clock is monotonic (:func:`time.perf_counter_ns`) and injectable,
+so tests can drive a deterministic fake clock.  Span *values* are wall
+clock and therefore nondeterministic; span *structure* (names,
+categories, lanes, order) is deterministic for a fixed workload, which
+the multi-worker merge test pins.
+
+Worker merge (see :mod:`repro.parallel`): a worker process records
+spans into its own fresh tracer and ships ``tracer.spans`` back with
+its result; the parent calls :meth:`Tracer.merge` once per work item,
+**in submission order**, which re-lanes the item's spans onto a private
+lane and shifts their (item-local) timestamps to the merge anchor.  The
+merged structure is identical for ``workers=1`` and ``workers=N``
+because it depends only on the item order, never on pool scheduling.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Tracer",
+    "SpanRecord",
+    "span",
+    "instant",
+    "enable",
+    "disable",
+    "enabled",
+    "get_tracer",
+    "to_chrome",
+    "write_chrome",
+    "spans_from_chrome",
+]
+
+#: One finished span: (name, category, start_ns, duration_ns, lane, args).
+#: ``args`` is ``None`` or a dict of JSON-serializable attributes.
+SpanRecord = Tuple[str, str, int, int, int, Optional[Dict[str, Any]]]
+
+#: One instant event: (name, category, time_ns, lane, args).
+InstantRecord = Tuple[str, str, int, int, Optional[Dict[str, Any]]]
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """Live span: opened by ``with tracer.span(...)``, recorded on exit."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        tracer = self._tracer
+        t0 = self._t0
+        tracer.spans.append(
+            (self.name, self.cat, t0, tracer._clock() - t0,
+             tracer.lane, self.args)
+        )
+        return False
+
+
+class Tracer:
+    """Collects span/instant records on integer lanes.
+
+    ``clock`` must return monotonically nondecreasing integers
+    (nanoseconds); it defaults to :func:`time.perf_counter_ns` and is
+    injectable for deterministic tests.
+    """
+
+    def __init__(self, clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self.spans: List[SpanRecord] = []
+        self.instants: List[InstantRecord] = []
+        self._clock = clock
+        #: lane (Chrome ``tid``) new spans are recorded on
+        self.lane = 0
+        #: lane -> display label (Chrome ``thread_name`` metadata)
+        self.lane_labels: Dict[int, str] = {0: "main"}
+        self._next_lane = 1
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, cat: str = "", args: Optional[dict] = None) -> _Span:
+        """A context manager recording one span on the current lane."""
+        return _Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "", args: Optional[dict] = None) -> None:
+        """Record a zero-duration marker at the current time."""
+        self.instants.append((name, cat, self._clock(), self.lane, args))
+
+    # ------------------------------------------------------------------
+    def alloc_lane(self, label: str) -> int:
+        """Reserve a fresh lane with a display label."""
+        lane = self._next_lane
+        self._next_lane = lane + 1
+        self.lane_labels[lane] = label
+        return lane
+
+    def merge(
+        self,
+        spans: Sequence[SpanRecord],
+        *,
+        label: str,
+        anchor_ns: Optional[int] = None,
+    ) -> int:
+        """Merge spans recorded elsewhere (a worker process) onto a new lane.
+
+        The spans' timestamps are shifted so the earliest starts at
+        ``anchor_ns`` (default: now) — worker clocks are process-local
+        and not comparable to ours, so only their *relative* layout is
+        preserved.  Called once per work item in submission order, this
+        yields a lane assignment and span order that depend only on the
+        item order (deterministic across pool schedules and pool sizes).
+        Returns the allocated lane.
+        """
+        lane = self.alloc_lane(label)
+        if not spans:
+            return lane
+        shift = (
+            self._clock() if anchor_ns is None else anchor_ns
+        ) - min(s[2] for s in spans)
+        for name, cat, t0, dur, _lane, args in spans:
+            self.spans.append((name, cat, t0 + shift, dur, lane, args))
+        return lane
+
+    # ------------------------------------------------------------------
+    def phase_totals(self) -> Dict[str, Tuple[int, int]]:
+        """Aggregate spans by name: ``{name: (count, total_ns)}``.
+
+        Preserves first-appearance order (insertion-ordered dict), which
+        the ``repro profile`` table relies on to read top-down like the
+        run itself.
+        """
+        out: Dict[str, Tuple[int, int]] = {}
+        for name, _cat, _t0, dur, _lane, _args in self.spans:
+            count, total = out.get(name, (0, 0))
+            out[name] = (count + 1, total + dur)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# module-level tracer (the instrumentation entry point)
+# ---------------------------------------------------------------------------
+
+_tracer: Optional[Tracer] = None
+
+
+def enable(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the process tracer."""
+    global _tracer
+    _tracer = tracer if tracer is not None else Tracer()
+    return _tracer
+
+
+def disable() -> Optional[Tracer]:
+    """Uninstall and return the process tracer (None if already off)."""
+    global _tracer
+    tracer, _tracer = _tracer, None
+    return tracer
+
+
+def enabled() -> bool:
+    return _tracer is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _tracer
+
+
+def span(name: str, cat: str = "", args: Optional[dict] = None):
+    """Open a span on the process tracer, or the shared no-op when off.
+
+    The disabled path performs no allocation: it returns the module
+    singleton.  Callers building an expensive ``args`` dict should do so
+    only when :func:`enabled` — the span itself costs nothing either way.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return _NOOP
+    return _Span(tracer, name, cat, args)
+
+
+def instant(name: str, cat: str = "", args: Optional[dict] = None) -> None:
+    """Record an instant marker on the process tracer (no-op when off)."""
+    tracer = _tracer
+    if tracer is not None:
+        tracer.instants.append((name, cat, tracer._clock(), tracer.lane, args))
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export (Perfetto / chrome://tracing)
+# ---------------------------------------------------------------------------
+
+def to_chrome(
+    tracer: Tracer,
+    *,
+    pid: int = 0,
+    process_name: str = "repro",
+    extra_events: Optional[List[dict]] = None,
+) -> dict:
+    """Export a tracer as a Chrome trace-event document.
+
+    Spans become ``ph: "X"`` complete events, instants ``ph: "i"``;
+    timestamps are microseconds relative to the earliest record, so the
+    viewer opens at t=0.  ``extra_events`` lets callers append events
+    from other time domains (the runtime engine's *simulated* timeline
+    uses its own pid — see :mod:`repro.obs.timeline`).
+    """
+    records = tracer.spans
+    t_min = min(
+        [s[2] for s in records] + [i[2] for i in tracer.instants],
+        default=0,
+    )
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for lane, label in sorted(tracer.lane_labels.items()):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": lane,
+            "args": {"name": label},
+        })
+    for name, cat, t0, dur, lane, args in records:
+        ev = {
+            "name": name,
+            "ph": "X",
+            "ts": (t0 - t_min) / 1000.0,
+            "dur": dur / 1000.0,
+            "pid": pid,
+            "tid": lane,
+        }
+        if cat:
+            ev["cat"] = cat
+        if args:
+            ev["args"] = args
+        events.append(ev)
+    for name, cat, t, lane, args in tracer.instants:
+        ev = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "ts": (t - t_min) / 1000.0,
+            "pid": pid,
+            "tid": lane,
+        }
+        if cat:
+            ev["cat"] = cat
+        if args:
+            ev["args"] = args
+        events.append(ev)
+    if extra_events:
+        events.extend(extra_events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_from_chrome(doc: dict) -> List[SpanRecord]:
+    """Reconstruct span records from an exported document.
+
+    The inverse of :func:`to_chrome` up to the time origin (exported
+    timestamps are re-based at the earliest record): names, categories,
+    lanes, args, durations and *relative* start times survive the round
+    trip exactly — pinned by ``tests/test_obs.py``.
+    """
+    out: List[SpanRecord] = []
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        out.append((
+            ev["name"],
+            ev.get("cat", ""),
+            round(ev["ts"] * 1000),
+            round(ev["dur"] * 1000),
+            ev.get("tid", 0),
+            ev.get("args") or None,
+        ))
+    return out
+
+
+def write_chrome(tracer: Tracer, path: str, **kwargs) -> None:
+    """Write :func:`to_chrome` output as JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(to_chrome(tracer, **kwargs), fh, indent=1)
+        fh.write("\n")

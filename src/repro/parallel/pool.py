@@ -33,6 +33,9 @@ from typing import Callable, List, Optional, Sequence, TypeVar, Union
 
 import numpy as np
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+
 __all__ = ["parallel_map", "resolve_workers", "spawn_seeds"]
 
 T = TypeVar("T")
@@ -72,6 +75,30 @@ def spawn_seeds(
     return root.spawn(n)
 
 
+def _observed_call(payload):
+    """Run one work item under fresh, item-local observability state.
+
+    Module-level so the pool can pickle it by reference.  The item's
+    spans and metrics snapshot ship back with its result; the parent
+    merges them **in submission order** (see :func:`parallel_map`), so
+    the merged trace structure is identical for any pool size.  Used on
+    the serial path too — the parent's tracer is set aside for the call
+    — so ``workers=1`` and ``workers=N`` traces agree lane for lane.
+    """
+    fn, item = payload
+    prev_tracer = _trace.disable()
+    prev_registry = _metrics.disable()
+    tracer = _trace.enable()
+    registry = _metrics.enable()
+    try:
+        result = fn(item)
+    finally:
+        _trace.enable(prev_tracer) if prev_tracer is not None else _trace.disable()
+        (_metrics.enable(prev_registry) if prev_registry is not None
+         else _metrics.disable())
+    return result, tracer.spans, registry.snapshot()
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Sequence[T],
@@ -97,6 +124,17 @@ def parallel_map(
     n = len(items)
     if n == 0:
         return []
+    # With observability on, every item runs under _observed_call and
+    # its spans/metrics are merged back here in submission order (a
+    # deterministic structure however the pool schedules).  The wrapped
+    # payload changes nothing about the item or its seeds, so results
+    # remain bit-identical to an unobserved run.
+    observed = _trace.enabled()
+    if observed:
+        tracer = _trace.get_tracer()
+        anchor = tracer._clock()
+        items = [(fn, item) for item in items]
+        fn = _observed_call
     workers = min(resolve_workers(workers), n)
     if workers == 1 and executor is None:
         results = []
@@ -104,14 +142,31 @@ def parallel_map(
             results.append(fn(item))
             if progress is not None:
                 progress(f"{label} {k + 1}/{n}")
-        return results
+        return _merge_observed(results, label, anchor) if observed else results
     if executor is not None:
-        return _pooled_map(executor, fn, items, progress, label)
+        results = _pooled_map(executor, fn, items, progress, label)
+        return _merge_observed(results, label, anchor) if observed else results
 
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return _pooled_map(pool, fn, items, progress, label)
+        results = _pooled_map(pool, fn, items, progress, label)
+    return _merge_observed(results, label, anchor) if observed else results
+
+
+def _merge_observed(results: List, label: str, anchor_ns: int) -> List:
+    """Fold per-item ``(result, spans, metrics)`` triples into the
+    parent tracer/registry; return the bare results in item order."""
+    tracer = _trace.get_tracer()
+    registry = _metrics.get_registry()
+    out = []
+    for k, (result, spans, snapshot) in enumerate(results):
+        if tracer is not None:
+            tracer.merge(spans, label=f"{label} {k}", anchor_ns=anchor_ns)
+        if registry is not None:
+            registry.merge(snapshot)
+        out.append(result)
+    return out
 
 
 def _pooled_map(pool, fn, items, progress, label) -> List:

@@ -87,6 +87,8 @@ from ..evaluation.costmodel import AREA_TOL, CostModel, area_guard_band
 from ..evaluation.energy import JOULES_PER_MB, EnergyModel
 from ..evaluation.trace import TaskTrace
 from ..graphs.taskgraph import TaskGraph
+from ..obs import metrics as _metrics
+from ..obs import trace as _obs_trace
 from ..platform.platform import Platform
 from . import events as ev
 from .replan import ReplanContext, ReplanPolicy, make_replan_policy
@@ -361,6 +363,17 @@ class RuntimeEngine:
             jobs = [jobs]
         if not jobs:
             raise ValueError("need at least one job")
+        with _obs_trace.span(
+            "engine.run", "runtime",
+            {"jobs": len(jobs)} if _obs_trace.enabled() else None,
+        ):
+            return self._run_loop(list(jobs), rng)
+
+    def _run_loop(
+        self,
+        jobs: Sequence[Job],
+        rng: Union[None, int, np.random.Generator],
+    ) -> RuntimeTrace:
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(0 if rng is None else rng)
 
@@ -1111,7 +1124,7 @@ class RuntimeEngine:
         # engine energy == EnergyModel.energy for clean runs at any
         # arrival offset
         horizon = makespan - min((job.arrival for job in jobs), default=0.0)
-        return RuntimeTrace(
+        trace = RuntimeTrace(
             jobs=jobs,
             events=self._log,
             makespan=makespan,
@@ -1126,6 +1139,31 @@ class RuntimeEngine:
             idle_energy_j=horizon * self._watts_idle_total,
             wasted_energy_j=self._e_wasted_j,
         )
+        registry = _metrics.get_registry()
+        if registry is not None:
+            # Absorb the run's shared-resource aggregates (write-only;
+            # nothing in the engine ever reads these back).
+            registry.counter("runtime.runs").inc()
+            registry.counter("runtime.jobs").inc(len(jobs))
+            registry.counter("runtime.n_killed").inc(
+                sum(j.n_killed for j in jobs))
+            registry.counter("runtime.n_remapped").inc(
+                sum(j.n_remapped for j in jobs))
+            registry.counter("runtime.n_fallback_dead").inc(
+                trace.n_fallback_dead)
+            registry.counter("runtime.area_wait_time").inc(
+                trace.area_wait_time)
+            registry.counter("runtime.n_area_waits").inc(trace.n_area_waits)
+            registry.counter("runtime.link_wait_time").inc(
+                trace.link_wait_time)
+            registry.counter("runtime.n_link_waits").inc(trace.n_link_waits)
+            registry.counter("runtime.wasted_energy_j").inc(
+                trace.wasted_energy_j)
+            registry.histogram("runtime.makespan").observe(makespan)
+            for job in jobs:
+                registry.histogram("runtime.job_latency").observe(
+                    job.completion - job.arrival)
+        return trace
 
 
 # ---------------------------------------------------------------------------
