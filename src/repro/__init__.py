@@ -47,7 +47,16 @@ Public API tour
   timeline, environment diagnostics (``repro env``) and the CLI
   reporter (``--verbose``/``--quiet``).  Off by default; enabling it
   never changes numeric results (``repro profile`` shows the
-  phase-time breakdown).
+  phase-time breakdown);
+- :mod:`repro.analysis` — the invariants above are *linted*, not just
+  tested: an AST-based checker (``repro lint``) with stable rule codes
+  enforces seeded randomness, no wall-clock reads in algorithms,
+  write-only observability, single-sourced tolerances, picklable
+  ``parallel_map`` payloads, no silent excepts, and that the C kernel's
+  constants match their Python mirrors (rule catalogue in
+  ``src/repro/analysis/README.md``); ``REPRO_CKERNEL_SANITIZE=asan,ubsan``
+  additionally rebuilds the C kernel under AddressSanitizer/UBSan —
+  still bit-identical — for memory/UB checking in CI.
 
 Quickstart
 ----------
@@ -65,7 +74,7 @@ True
 
 from . import evaluation, graphs, mappers, obs, parallel, platform, runtime, sp
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "evaluation", "graphs", "mappers", "obs", "parallel", "platform",

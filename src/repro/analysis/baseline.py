@@ -1,0 +1,67 @@
+"""Optional finding baseline: grandfather known debt, block new debt.
+
+A baseline is a JSON list of finding identities (code, path, line).  A
+lint run with ``--baseline FILE`` subtracts exactly those findings and
+reports everything else — the standard ratchet for introducing a linter
+to a tree that is not yet clean.  This repo's own tree lints clean (the
+meta-test in ``tests/test_analysis.py`` pins that), so no baseline file
+is committed; the mechanism exists for downstream forks and for staging
+new rules.
+
+Intentional, *reviewed* exceptions should prefer an inline
+``# repro-lint: disable=CODE  # reason`` next to the code they excuse —
+a baseline entry is anonymous and silently outlives refactors.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Set, Tuple
+
+from .core import Finding, LintError
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+_Key = Tuple[str, str, int]
+
+
+def load_baseline(path: str) -> Set[_Key]:
+    """Read a baseline file into a set of finding identities."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise LintError(f"cannot read baseline {path!r}: {exc}") from None
+    entries = doc.get("findings") if isinstance(doc, dict) else None
+    if not isinstance(entries, list):
+        raise LintError(
+            f"baseline {path!r}: expected an object with a 'findings' list"
+        )
+    out: Set[_Key] = set()
+    for entry in entries:
+        try:
+            out.add((entry["code"], entry["path"], int(entry["line"])))
+        except (TypeError, KeyError, ValueError):
+            raise LintError(
+                f"baseline {path!r}: malformed entry {entry!r}"
+            ) from None
+    return out
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the current findings as a baseline; returns the entry count."""
+    entries = [
+        {"code": f.code, "path": f.path, "line": f.line, "message": f.message}
+        for f in sorted(findings, key=lambda f: f.sort_key)
+    ]
+    with open(path, "w") as fh:
+        json.dump({"version": 1, "findings": entries}, fh, indent=2)
+        fh.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Set[_Key]
+) -> List[Finding]:
+    """Findings not covered by the baseline, order preserved."""
+    return [f for f in findings if f.baseline_key not in baseline]

@@ -20,6 +20,10 @@ Commands
                metrics summary, optional Perfetto trace (``--trace``)
 ``env``        print the environment diagnostic header (version, kernel
                compile status, numpy/BLAS) for bug reports and benchmarks
+``lint``       statically check the repo's reproducibility invariants
+               (seeded randomness, no wall-clock in algorithms, write-only
+               observability, single-sourced tolerances, picklable
+               ``parallel_map`` payloads, C-kernel constant mirrors)
 
 ``--trace out.json`` on ``simulate``/``experiment`` records spans (and,
 for engine runs, the simulated-time timeline) to a Chrome trace-event
@@ -260,7 +264,9 @@ def cmd_compare(args) -> int:
 def _parse_device(spec: str, platform) -> int:
     try:
         return platform.index_of(spec)
-    except KeyError:
+    # not a device name: fall through to the numeric-index parse below,
+    # which owns the error message
+    except KeyError:  # repro-lint: disable=EXC001
         pass
     try:
         d = int(spec)
@@ -660,6 +666,56 @@ def cmd_env(args) -> int:
     return 0
 
 
+def _default_lint_paths() -> List[str]:
+    """``src tests benchmarks`` when run from a checkout, else the
+    installed package directory."""
+    import os
+
+    paths = [p for p in ("src", "tests", "benchmarks") if os.path.isdir(p)]
+    if paths:
+        return paths
+    return [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
+
+
+def cmd_lint(args) -> int:
+    from . import analysis
+
+    if args.list_rules:
+        for rule in analysis.all_rules():
+            R.out(f"{rule.code}  {rule.title}")
+            R.out(f"        {rule.contract}")
+        return 0
+    paths = args.paths or _default_lint_paths()
+    try:
+        report = analysis.run_lint(
+            paths,
+            select=args.select,
+            ignore=args.ignore,
+            baseline=args.baseline,
+        )
+    except (analysis.LintError, analysis.RuleSelectionError) as exc:
+        R.error(f"lint: {exc}")
+        return 2
+    if args.write_baseline:
+        n = analysis.write_baseline(args.write_baseline, report.findings)
+        R.out(f"wrote {args.write_baseline} ({n} entries)")
+        return 0
+    if args.json:
+        R.out(json.dumps(report.to_json(), indent=2))
+    else:
+        for f in report.findings:
+            R.out(f.render())
+        for err in report.errors:
+            R.out(f"error: {err}")
+        tail = f"{len(report.findings)} finding(s) in {report.n_files} file(s)"
+        if report.n_suppressed:
+            tail += f", {report.n_suppressed} suppressed"
+        if report.n_baselined:
+            tail += f", {report.n_baselined} baselined"
+        R.out(tail)
+    return 0 if report.clean else 1
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -817,6 +873,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON")
     p.set_defaults(func=cmd_env)
+
+    p = sub.add_parser(
+        "lint",
+        help="check the repo's reproducibility invariants (AST lint)",
+        description="Static checks for the invariants the test suite "
+                    "enforces by example: seeded randomness, no wall-clock "
+                    "reads in algorithms, write-only observability, "
+                    "single-sourced tolerances, picklable parallel_map "
+                    "payloads, no silent excepts, and C-kernel constant "
+                    "mirrors.  Exit status: 0 clean, 1 findings, 2 usage "
+                    "errors.",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: src tests "
+                        "benchmarks, when present)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report (schema v1)")
+    p.add_argument("--select", metavar="CODES",
+                   help="comma-separated rule codes to run (default: all)")
+    p.add_argument("--ignore", metavar="CODES",
+                   help="comma-separated rule codes to skip")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="subtract findings recorded in this baseline file")
+    p.add_argument("--write-baseline", metavar="FILE",
+                   help="record current findings as the new baseline and exit")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list rule codes with their contracts and exit")
+    p.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -524,11 +524,56 @@ class CKernel:
         )
 
 
-#: compile flags (part of the .so cache key, so changing them recompiles).
-#: -O3/-funroll-loops only reorder integer/branch work; float semantics
-#: stay strict IEEE (-ffp-contract=off, fast-math never passed), so the
-#: optimized build remains bit-identical to the Python kernel.
+#: base compile flags (part of the .so cache key, so changing them
+#: recompiles).  -O3/-funroll-loops only reorder integer/branch work;
+#: float semantics stay strict IEEE (-ffp-contract=off, fast-math never
+#: passed), so the optimized build remains bit-identical to the Python
+#: kernel.
 _CFLAGS = ["-O3", "-funroll-loops", "-fPIC", "-shared", "-ffp-contract=off"]
+
+#: ``REPRO_CKERNEL_SANITIZE`` tokens -> -fsanitize= groups.  asan/ubsan
+#: are the spellings the CI jobs use; the long names work too.
+_SANITIZERS = {
+    "asan": "address",
+    "address": "address",
+    "ubsan": "undefined",
+    "undefined": "undefined",
+}
+
+
+def sanitize_flags() -> list:
+    """Extra compile flags from ``REPRO_CKERNEL_SANITIZE``.
+
+    ``REPRO_CKERNEL_SANITIZE=asan,ubsan`` builds the kernel with
+    ``-fsanitize=address,undefined -fno-omit-frame-pointer``.  The flags
+    are folded into the ``.so`` cache key (exactly like the PR 4 flag
+    change), so plain and sanitized builds coexist in the cache and
+    flipping the variable between runs never serves a stale build.
+    Sanitizers instrument memory/UB checks only — float semantics are
+    untouched, so a sanitized kernel stays bit-identical to the
+    reference walk (pinned by the ``kernel-sanitize`` CI job running
+    the full equivalence suite under this variable).
+
+    Unknown tokens raise :class:`ValueError`: a typo'd sanitizer must
+    not silently run an unsanitized (or worse, pure-Python) kernel.
+    """
+    spec = os.environ.get("REPRO_CKERNEL_SANITIZE", "")
+    groups = []
+    for token in spec.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        group = _SANITIZERS.get(token)
+        if group is None:
+            raise ValueError(
+                f"REPRO_CKERNEL_SANITIZE: unknown sanitizer {token!r} "
+                f"(known: {', '.join(sorted(set(_SANITIZERS)))})"
+            )
+        if group not in groups:
+            groups.append(group)
+    if not groups:
+        return []
+    return ["-fsanitize=" + ",".join(groups), "-fno-omit-frame-pointer"]
 
 
 def _cache_dir() -> str:
@@ -538,29 +583,62 @@ def _cache_dir() -> str:
     return os.path.join(base, "repro-kernel")
 
 
-def _compile(src_hash: str) -> Optional[str]:
-    """Compile the kernel into the cache dir; return the .so path or None."""
+#: appended to the C source for ``-fsanitize=address`` builds.  ASan
+#: reads its options from /proc/self/environ at init, so an in-process
+#: ``os.environ`` change cannot reach it; exporting the defaults from
+#: the instrumented .so itself can.  ``verify_asan_link_order=0``
+#: accepts dlopen() into an uninstrumented CPython (kernel code stays
+#: fully instrumented); ``detect_leaks=0`` silences LeakSanitizer noise
+#: from the host interpreter's own allocations.  A real ``ASAN_OPTIONS``
+#: in the launch environment still overrides these defaults.
+_ASAN_DEFAULTS = """
+const char *__asan_default_options(void) {
+    return "verify_asan_link_order=0:detect_leaks=0";
+}
+"""
+
+
+def _effective_source(cflags) -> str:
+    if any(f.startswith("-fsanitize=") and "address" in f for f in cflags):
+        return _C_SOURCE + _ASAN_DEFAULTS
+    return _C_SOURCE
+
+
+def _source_hash(cflags) -> str:
+    """Cache key: effective source text + flags + python version."""
+    return hashlib.sha256(
+        (_effective_source(cflags) + " ".join(cflags)
+         + sys.version.split()[0]).encode()
+    ).hexdigest()[:16]
+
+
+def _compile(cflags) -> Optional[str]:
+    """Compile the kernel with ``cflags``; return the .so path or None."""
+    so_name = f"ckernel-{_source_hash(cflags)}.so"
     for cc in ("cc", "gcc", "clang"):
         try:
             cache = _cache_dir()
             os.makedirs(cache, exist_ok=True)
-            so_path = os.path.join(cache, f"ckernel-{src_hash}.so")
+            so_path = os.path.join(cache, so_name)
             if os.path.exists(so_path):
                 return so_path
             with tempfile.TemporaryDirectory() as tmp:
                 c_path = os.path.join(tmp, "kernel.c")
                 with open(c_path, "w") as fh:
-                    fh.write(_C_SOURCE)
+                    fh.write(_effective_source(cflags))
                 tmp_so = os.path.join(tmp, "kernel.so")
                 subprocess.run(
-                    [cc, *_CFLAGS, "-o", tmp_so, c_path],
+                    [cc, *cflags, "-o", tmp_so, c_path],
                     check=True,
                     capture_output=True,
                     timeout=120,
                 )
                 os.replace(tmp_so, so_path)  # atomic under concurrency
             return so_path
-        except Exception:  # noqa: BLE001 - any failure => next cc / fallback
+        # any failure => try the next compiler, else the silent
+        # pure-Python fallback: the C path is an optimization, never a
+        # requirement
+        except Exception:  # noqa: BLE001  # repro-lint: disable=EXC001
             continue
     return None
 
@@ -568,25 +646,30 @@ def _compile(src_hash: str) -> Optional[str]:
 _LOADED: Optional[CKernel] = None
 _TRIED = False
 _SO_PATH: Optional[str] = None
+_SANITIZE: list = []
 
 
 def load_ckernel() -> Optional[CKernel]:
-    """The process-wide kernel, compiled/loaded on first use (or None)."""
-    global _LOADED, _TRIED, _SO_PATH
+    """The process-wide kernel, compiled/loaded on first use (or None).
+
+    The first call in a process decides the build (including
+    ``REPRO_PURE_PYTHON`` and ``REPRO_CKERNEL_SANITIZE``); later changes
+    to either variable require a new process, same as before.
+    """
+    global _LOADED, _TRIED, _SO_PATH, _SANITIZE
     if _TRIED:
         return _LOADED
     _TRIED = True
     if os.environ.get("REPRO_PURE_PYTHON"):
         return None
-    src_hash = hashlib.sha256(
-        (_C_SOURCE + " ".join(_CFLAGS) + sys.version.split()[0]).encode()
-    ).hexdigest()[:16]
-    so_path = _compile(src_hash)
+    extra = sanitize_flags()  # raises on a typo'd sanitizer — see above
+    so_path = _compile(_CFLAGS + extra)
     if so_path is None:
         return None
     try:
         _LOADED = CKernel(ctypes.CDLL(so_path))
         _SO_PATH = so_path
+        _SANITIZE = extra
     except Exception:  # noqa: BLE001
         _LOADED = None
     return _LOADED
@@ -606,5 +689,80 @@ def kernel_status() -> dict:
         "pure_python_forced": bool(os.environ.get("REPRO_PURE_PYTHON")),
         "so_path": _SO_PATH,
         "cache_dir": _cache_dir(),
-        "cflags": " ".join(_CFLAGS),
+        "cflags": " ".join(_CFLAGS + _SANITIZE),
+        "sanitize": os.environ.get("REPRO_CKERNEL_SANITIZE", "") or None,
     }
+
+
+# ---------------------------------------------------------------------------
+# consistency between the embedded C source and its Python mirrors
+# ---------------------------------------------------------------------------
+
+def source_consistency_problems() -> list:
+    """Mismatches between ``_C_SOURCE`` and the Python-side mirrors.
+
+    Returns ``[(line, message), ...]`` — empty when consistent — where
+    ``line`` points into *this* file at the offending C statement.  The
+    checked invariants (lint rule KER001):
+
+    - the in-kernel dedup's FNV-1a offset basis and prime equal
+      ``repro.evaluation.kernel.DEDUP_FNV_OFFSET`` / ``DEDUP_FNV_PRIME``
+      (``CostModel.simulate_many`` sizes and trusts the same table);
+    - the documented table-sizing contract (``>= FACTOR*B`` slots)
+      matches ``DEDUP_TABLE_FACTOR``;
+    - infeasible lanes are marked with C ``INFINITY``, which is the same
+      sentinel as ``costmodel.INFEASIBLE`` / ``kernel.INF``.
+    """
+    import re
+
+    from .costmodel import INFEASIBLE
+    from .kernel import (
+        DEDUP_FNV_OFFSET,
+        DEDUP_FNV_PRIME,
+        DEDUP_TABLE_FACTOR,
+        INF,
+    )
+
+    problems = []
+
+    def c_line(pattern: str) -> int:
+        """1-based line of the first match of ``pattern`` in this file."""
+        with open(__file__, encoding="utf-8") as fh:
+            for lineno, text in enumerate(fh, start=1):
+                if re.search(pattern, text):
+                    return lineno
+        return 1
+
+    def check(pattern: str, expected: int, what: str) -> None:
+        m = re.search(pattern, _C_SOURCE)
+        if m is None:
+            problems.append((
+                c_line(r"_C_SOURCE = r"),
+                f"C source: cannot locate the {what} "
+                f"(pattern {pattern!r}); update the mirror check",
+            ))
+        elif int(m.group(1)) != expected:
+            problems.append((
+                c_line(pattern),
+                f"C {what} is {m.group(1)}, Python mirror "
+                f"(repro.evaluation.kernel) says {expected}",
+            ))
+
+    check(r"uint64_t h = (\d+)ULL", DEDUP_FNV_OFFSET, "FNV-1a offset basis")
+    check(r"\* (\d+)ULL", DEDUP_FNV_PRIME, "FNV-1a prime")
+    check(
+        r">=\s*(\d+)\*B", DEDUP_TABLE_FACTOR,
+        "dedup table-sizing factor (slots per lane)",
+    )
+    if "out[b] = INFINITY" not in _C_SOURCE:
+        problems.append((
+            c_line(r"_C_SOURCE = r"),
+            "C source no longer marks infeasible lanes with INFINITY",
+        ))
+    if not (INFEASIBLE == INF == float("inf")):
+        problems.append((
+            1,
+            "INFEASIBLE / kernel.INF are no longer the +inf sentinel "
+            "the C kernel emits",
+        ))
+    return problems

@@ -79,7 +79,12 @@ from ..obs import metrics as _metrics
 from ..platform.platform import Platform
 from ..platform.taskmodel import exec_time_table
 from ._ckernel import load_ckernel
-from .kernel import FlatModel, simulate_flat, simulate_population
+from .kernel import (
+    DEDUP_TABLE_FACTOR,
+    FlatModel,
+    simulate_flat,
+    simulate_population,
+)
 
 __all__ = ["CostModel", "INFEASIBLE", "AREA_TOL", "area_guard_band"]
 
@@ -380,7 +385,7 @@ class CostModel:
                 feas_p = feas.view(np.uint8).ctypes.data
             n_lanes = pop.shape[0]
             res = np.empty(n_lanes)
-            table_size = 1 << (2 * n_lanes - 1).bit_length()
+            table_size = 1 << (DEDUP_TABLE_FACTOR * n_lanes - 1).bit_length()
             if self._dedup_table is None or len(self._dedup_table) < table_size:
                 self._dedup_table = np.empty(table_size, dtype=np.int64)
             simulated = self._span_batch_dedup_c(

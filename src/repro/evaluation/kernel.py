@@ -49,6 +49,27 @@ __all__ = ["FlatModel", "simulate_span", "simulate_batch", "INF"]
 
 INF = float("inf")
 
+# ---------------------------------------------------------------------------
+# Python-side mirrors of the C batch kernel's lane/dedup constants.  The
+# in-kernel genome dedup (``repro_span_batch_dedup`` in
+# :mod:`repro.evaluation._ckernel`) hashes rows with 64-bit FNV-1a and
+# requires a power-of-two probe table of at least ``DEDUP_TABLE_FACTOR``
+# times the lane count; ``CostModel.simulate_many`` sizes its table from
+# these mirrors.  ``_ckernel.source_consistency_problems()`` (surfaced as
+# lint rule KER001 and pinned by ``tests/test_ckernel_sanitize.py``)
+# verifies the C source literally embeds the same values, so an edit to
+# one side without the other cannot land silently.
+# ---------------------------------------------------------------------------
+
+#: FNV-1a 64-bit offset basis used by the in-kernel row hash
+DEDUP_FNV_OFFSET = 1469598103934665603
+#: FNV-1a 64-bit prime used by the in-kernel row hash
+DEDUP_FNV_PRIME = 1099511628211
+#: the dedup probe table must hold at least this many slots per lane
+DEDUP_TABLE_FACTOR = 2
+
+__all__ += ["DEDUP_FNV_OFFSET", "DEDUP_FNV_PRIME", "DEDUP_TABLE_FACTOR"]
+
 
 class FlatModel:
     """CSR/flat-array view of one ``CostModel``'s tables (see module doc)."""

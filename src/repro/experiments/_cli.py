@@ -5,10 +5,17 @@ from __future__ import annotations
 import argparse
 from typing import Callable
 
+from ..obs import get_reporter
 from .reporting import print_sweep, write_csv
 from .runner import SweepResult
 
 __all__ = ["run_cli"]
+
+_R = get_reporter()
+
+
+def _progress(msg: str) -> None:
+    _R.out(f"  [{msg}]")
 
 
 def run_cli(
@@ -37,7 +44,7 @@ def run_cli(
         "--quiet", action="store_true", help="suppress per-point progress lines"
     )
     args = parser.parse_args()
-    progress = None if args.quiet else (lambda msg: print(f"  [{msg}]"))
+    progress = None if args.quiet else _progress
     result = run(
         scale=args.scale, seed=args.seed, workers=args.workers,
         progress=progress,
@@ -45,4 +52,4 @@ def run_cli(
     print_sweep(result, time_unit=time_unit)
     if args.csv:
         path = write_csv(result)
-        print(f"csv written to {path}")
+        _R.out(f"csv written to {path}")

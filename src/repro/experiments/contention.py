@@ -40,6 +40,7 @@ import numpy as np
 from ..evaluation import MappingEvaluator
 from ..graphs.generators import random_sp_graph
 from ..mappers import HeftMapper, sp_first_fit
+from ..obs import get_reporter
 from ..parallel import parallel_map, resolve_workers
 from ..platform import paper_platform
 from ..platform.platform import Platform
@@ -286,7 +287,7 @@ def format_contention_table(result: ContentionResult) -> str:
 
 
 def print_report(result: ContentionResult) -> None:
-    print(format_contention_table(result))
+    get_reporter().out(format_contention_table(result))
 
 
 def write_contention_csv(
@@ -348,11 +349,14 @@ if __name__ == "__main__":
     )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args()
-    progress = None if args.quiet else (lambda msg: print(f"  [{msg}]"))
+    reporter = get_reporter()
+    progress = (
+        None if args.quiet else (lambda msg: reporter.out(f"  [{msg}]"))
+    )
     result = run(
         scale=args.scale, seed=args.seed, workers=args.workers,
         progress=progress,
     )
     print_report(result)
     if args.csv:
-        print(f"csv written to {write_contention_csv(result)}")
+        reporter.out(f"csv written to {write_contention_csv(result)}")

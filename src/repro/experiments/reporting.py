@@ -11,7 +11,10 @@ import csv
 import os
 from typing import Optional, Sequence, TextIO
 
+from ..obs import get_reporter
 from .runner import SweepResult
+
+_R = get_reporter()
 
 __all__ = ["format_sweep_table", "print_sweep", "write_csv", "results_dir"]
 
@@ -57,7 +60,7 @@ def format_sweep_table(result: SweepResult, *, time_unit: str = "ms") -> str:
 
 
 def print_sweep(result: SweepResult, *, time_unit: str = "ms") -> None:
-    print(format_sweep_table(result, time_unit=time_unit))
+    _R.out(format_sweep_table(result, time_unit=time_unit))
 
 
 def write_csv(

@@ -61,6 +61,7 @@ from ..runtime import (
     replicate,
     robustness_report,
 )
+from ..obs import get_reporter
 from .config import get_scale
 from .reporting import results_dir
 
@@ -454,10 +455,11 @@ def format_replan_table(result: ReplanResult) -> str:
 
 
 def print_report(result) -> None:
+    reporter = get_reporter()
     if isinstance(result, ReplanResult):
-        print(format_replan_table(result))
+        reporter.out(format_replan_table(result))
     else:
-        print(format_robustness_table(result))
+        reporter.out(format_robustness_table(result))
 
 
 def write_robustness_csv(
@@ -557,7 +559,10 @@ if __name__ == "__main__":
     )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args()
-    progress = None if args.quiet else (lambda msg: print(f"  [{msg}]"))
+    reporter = get_reporter()
+    progress = (
+        None if args.quiet else (lambda msg: reporter.out(f"  [{msg}]"))
+    )
     if args.study == "replan":
         seed = 78 if args.seed is None else args.seed
         replan = run_replan(
@@ -566,7 +571,7 @@ if __name__ == "__main__":
         )
         print_report(replan)
         if args.csv:
-            print(f"csv written to {write_replan_csv(replan)}")
+            reporter.out(f"csv written to {write_replan_csv(replan)}")
     else:
         seed = 77 if args.seed is None else args.seed
         result = run(
@@ -575,4 +580,4 @@ if __name__ == "__main__":
         )
         print_report(result)
         if args.csv:
-            print(f"csv written to {write_robustness_csv(result)}")
+            reporter.out(f"csv written to {write_robustness_csv(result)}")

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..graphs.generators import random_sp_graph
 from ..mappers import sn_first_fit, sp_first_fit, single_node, series_parallel
+from ..obs import get_reporter
 from ..parallel import resolve_workers
 from ..platform import paper_platform
 from .config import get_scale
@@ -96,6 +97,7 @@ if __name__ == "__main__":
 
     result = run(scale=args.scale, seed=args.seed, workers=args.workers)
     print_sweep(result)
-    print("\nfitted time ~ n^alpha exponents:")
+    reporter = get_reporter()
+    reporter.out("\nfitted time ~ n^alpha exponents:")
     for name, alpha in fit_exponents(result).items():
-        print(f"  {name:>16s}: alpha = {alpha:.2f}")
+        reporter.out(f"  {name:>16s}: alpha = {alpha:.2f}")

@@ -32,6 +32,7 @@ from ..mappers import (
     sn_first_fit,
     sp_first_fit,
 )
+from ..obs import get_reporter
 from ..parallel import parallel_map, resolve_workers
 from ..platform import paper_platform
 from .config import get_scale
@@ -209,13 +210,14 @@ if __name__ == "__main__":
     )
     parser.add_argument("--csv", action="store_true")
     args = parser.parse_args()
+    reporter = get_reporter()
     table = run(
         scale=args.scale,
         seed=args.seed,
         families=args.families,
         workers=args.workers,
-        progress=lambda msg: print(f"  [{msg}]"),
+        progress=lambda msg: reporter.out(f"  [{msg}]"),
     )
-    print(format_table(table))
+    reporter.out(format_table(table))
     if args.csv:
-        print(f"csv written to {write_csv(table)}")
+        reporter.out(f"csv written to {write_csv(table)}")

@@ -72,7 +72,8 @@ class CpopMapper(Mapper):
 
         # critical path: walk from the entry task along max-priority children
         on_cp = np.zeros(n, dtype=bool)
-        eps = 1e-9 * max(cp_value, 1.0)
+        # rank tie-break epsilon, unrelated to the area tolerance
+        eps = 1e-9 * max(cp_value, 1.0)  # repro-lint: disable=TOL001
         entry = [index[t] for t in g.sources()]
         cur = max(entry, key=lambda i: priority[i])
         on_cp[cur] = True

@@ -30,7 +30,7 @@ def _blas_backend() -> str:
         version = blas.get("version", "")
         if name:
             return f"{name} {version}".strip()
-    except Exception:  # noqa: BLE001 - diagnostics must never raise
+    except Exception:  # noqa: BLE001 - diagnostics must never raise  # repro-lint: disable=EXC001
         pass
     try:
         for section in ("blas_ilp64_opt_info", "blas_opt_info", "blas_info"):
@@ -39,7 +39,7 @@ def _blas_backend() -> str:
                 libs = info.get("libraries")
                 if libs:
                     return ", ".join(libs)
-    except Exception:  # noqa: BLE001
+    except Exception:  # noqa: BLE001  # repro-lint: disable=EXC001
         pass
     return "unknown"
 

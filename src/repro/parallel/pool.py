@@ -96,7 +96,9 @@ def _observed_call(payload):
         _trace.enable(prev_tracer) if prev_tracer is not None else _trace.disable()
         (_metrics.enable(prev_registry) if prev_registry is not None
          else _metrics.disable())
-    return result, tracer.spans, registry.snapshot()
+    # worker->parent observability merge: this IS the obs plumbing,
+    # not an algorithm reading its own telemetry
+    return result, tracer.spans, registry.snapshot()  # repro-lint: disable=OBS001
 
 
 def parallel_map(

@@ -47,7 +47,10 @@ def execution_time(params: TaskParams, input_mb: float, device: Device) -> float
     if work <= 0.0:
         return 0.0  # virtual/zero-work tasks are free everywhere
     if device.kind is DeviceKind.FPGA:
-        throughput = device.stream_gops * max(params.streamability, 1e-9)
+        # floor keeps the FPGA throughput positive; not an area tolerance
+        throughput = device.stream_gops * max(
+            params.streamability, 1e-9  # repro-lint: disable=TOL001
+        )
     else:
         throughput = device.lane_gops * amdahl_speedup(
             params.parallelizability, device.lanes

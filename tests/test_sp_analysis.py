@@ -1,0 +1,87 @@
+"""Tests for forest/SP-ness analysis metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import random_almost_sp_graph, random_sp_graph
+from repro.sp import (
+    core_fraction,
+    forest_stats,
+    grow_decomposition_forest,
+    sp_distance,
+)
+
+
+class TestForestStats:
+    def test_sp_graph_single_tree(self, fig1_graph):
+        forest = grow_decomposition_forest(fig1_graph, cut_strategy="first")
+        stats = forest_stats(fig1_graph, forest)
+        assert stats.n_trees == 1
+        assert stats.n_cuts == 0
+        assert stats.core_fraction == 1.0
+        assert stats.n_edges_total == fig1_graph.n_edges
+        assert stats.largest_tree_edges == fig1_graph.n_edges
+
+    def test_fig2_split(self, fig2_graph):
+        forest = grow_decomposition_forest(fig2_graph, cut_strategy="first")
+        stats = forest_stats(fig2_graph, forest)
+        assert stats.n_trees == 2
+        assert stats.n_cuts == 1
+        assert 0.0 < stats.core_fraction < 1.0
+        assert stats.n_edges_total == fig2_graph.n_edges
+
+    def test_mean_and_single_edge_counters(self, fig2_graph):
+        forest = grow_decomposition_forest(fig2_graph, cut_strategy="smallest")
+        stats = forest_stats(fig2_graph, forest)
+        assert stats.single_edge_trees >= 1  # the cut 1-4 edge
+        assert stats.mean_tree_edges == pytest.approx(
+            stats.n_edges_total / stats.n_trees
+        )
+
+
+class TestSpDistance:
+    def test_zero_for_sp(self, fig1_graph, rng):
+        assert sp_distance(fig1_graph) == 0.0
+        g = random_sp_graph(30, rng, augmented=False)
+        assert sp_distance(g) == 0.0
+
+    def test_positive_for_non_sp(self, fig2_graph):
+        d = sp_distance(fig2_graph)
+        assert 0.0 < d < 1.0
+
+    def test_grows_with_conflicting_edges(self):
+        dists = []
+        for k in (0, 10, 40):
+            vals = []
+            for seed in range(3):
+                g = random_almost_sp_graph(
+                    30, k, np.random.default_rng(seed), augmented=False
+                )
+                vals.append(sp_distance(g, trials=2))
+            dists.append(np.mean(vals))
+        assert dists[0] == 0.0
+        assert dists[2] > dists[1] >= dists[0]
+
+    def test_trials_never_increase_distance(self, fig2_graph):
+        one = sp_distance(fig2_graph, trials=1, cut_strategy="largest")
+        many = sp_distance(fig2_graph, trials=5, cut_strategy="largest")
+        assert many <= one + 1e-12
+
+    def test_empty_graph(self):
+        from repro.graphs import TaskGraph
+
+        g = TaskGraph()
+        g.add_task(0)
+        assert sp_distance(g) == 0.0
+
+
+class TestCoreFraction:
+    def test_bounds(self, fig2_graph):
+        f = core_fraction(fig2_graph, cut_strategy="smallest")
+        assert 0.0 < f <= 1.0
+
+    def test_smallest_cut_keeps_bigger_core(self, fig2_graph):
+        """The 'smallest' heuristic must keep at least as much core as 'largest'."""
+        small = core_fraction(fig2_graph, cut_strategy="smallest")
+        large = core_fraction(fig2_graph, cut_strategy="largest")
+        assert small >= large
