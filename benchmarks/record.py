@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import time
@@ -367,9 +368,19 @@ def main(argv=None) -> int:
             "legacy scalar paths: batch_eval=False / delta_eval=False"
             " (the pre-batch implementations, kept verbatim)"
         )
-    bench_file.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    _atomic_write_text(
+        bench_file, json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
     print(f"wrote section {args.section!r} to {bench_file}")
     return 0
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write via a same-directory temp file + rename, so an interrupted
+    run can never leave a truncated BENCH_*.json behind."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
 
 
 if __name__ == "__main__":

@@ -34,7 +34,15 @@ Public API tour
   platform (:mod:`repro.runtime.replan`, ``--replan-policy``);
 - :mod:`repro.parallel` — process-pool experiment backbone with
   deterministic seed sharding: ``--workers N`` scales every driver across
-  cores with results bit-identical to a serial run;
+  cores with results bit-identical to a serial run; execution is
+  *supervised* (per-item timeouts, bounded retries with backoff, pool
+  rebuild after worker crashes, serial degradation as the last resort)
+  and the seed contract makes fault tolerance free — a retried item
+  recomputes the same numbers, proven by a deterministic chaos harness
+  (``REPRO_CHAOS`` injects seeded crashes/hangs/errors) and pinned by
+  CSV byte-identity tests; long sweeps checkpoint to an append-only
+  journal and resume recomputing only outstanding cells
+  (``--checkpoint``/``--resume``);
 - :mod:`repro.experiments` — drivers regenerating every figure and table of
   the paper's evaluation, plus the runtime-robustness noise sweep, the
   failure re-mapping policy sweep (:mod:`repro.experiments.robustness`)
@@ -52,7 +60,8 @@ Public API tour
   tested: an AST-based checker (``repro lint``) with stable rule codes
   enforces seeded randomness, no wall-clock reads in algorithms,
   write-only observability, single-sourced tolerances, picklable
-  ``parallel_map`` payloads, no silent excepts, and that the C kernel's
+  ``parallel_map`` payloads, no silent excepts, bounded retry loops
+  with no sleeping in algorithm modules, and that the C kernel's
   constants match their Python mirrors (rule catalogue in
   ``src/repro/analysis/README.md``); ``REPRO_CKERNEL_SANITIZE=asan,ubsan``
   additionally rebuilds the C kernel under AddressSanitizer/UBSan —
@@ -74,7 +83,7 @@ True
 
 from . import evaluation, graphs, mappers, obs, parallel, platform, runtime, sp
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "evaluation", "graphs", "mappers", "obs", "parallel", "platform",

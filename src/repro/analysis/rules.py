@@ -22,6 +22,7 @@ __all__ = [
     "BarePrintRule",
     "ToleranceLiteralRule",
     "PicklableParallelCallableRule",
+    "BoundedRetryRule",
     "SilentExceptRule",
     "CKernelMirrorRule",
 ]
@@ -256,6 +257,56 @@ class PicklableParallelCallableRule(Rule):
                 "parallel_map workers must be module-level (picklable "
                 "by reference)",
             )
+
+
+@register
+class BoundedRetryRule(Rule):
+    code = "PAR002"
+    title = "retry loops bounded; no sleeping in algorithm modules"
+    contract = (
+        "Fault tolerance is owned by the supervised pool (PR 8, "
+        "repro.parallel.supervisor): retries are bounded by "
+        "RetryPolicy.max_attempts and backoff waits live only there.  A "
+        "`while True` retry loop or an ad-hoc time.sleep in an algorithm "
+        "module can stall a sweep forever and hides failure handling "
+        "from the supervisor's counters; the supervisor/chaos modules "
+        "carry justified inline pragmas."
+    )
+    node_types = (ast.Call, ast.While)
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        if not _in_package(ctx):
+            return False
+        # obs/ and the CLI are control-plane code, same scope as DET002
+        return not ctx.pkg_rel.startswith("obs/") and ctx.pkg_rel != "cli.py"
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterable[Finding]:
+        if isinstance(node, ast.Call):
+            if ctx.resolve_call(node.func) == "time.sleep":
+                yield self.finding(
+                    ctx, node,
+                    "time.sleep in an algorithm module; waiting belongs "
+                    "to the parallel supervisor's bounded backoff (or "
+                    "justify with a disable pragma)",
+                )
+            return
+        # `while True` whose only way past a failure is except-and-continue
+        # (and no break anywhere): an unbounded retry loop
+        if not (isinstance(node.test, ast.Constant) and node.test.value is True):
+            return
+        if any(isinstance(sub, ast.Break) for sub in ast.walk(node)):
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.ExceptHandler) and any(
+                isinstance(s, ast.Continue) for s in ast.walk(sub)
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "unbounded `while True` retry loop (an except handler "
+                    "continues and nothing breaks); bound it with a "
+                    "max-attempts counter (see RetryPolicy)",
+                )
+                return
 
 
 @register

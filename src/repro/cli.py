@@ -561,6 +561,17 @@ def cmd_experiment(args) -> int:
     # every driver takes a progress callback; at the default level it is
     # dropped by the reporter, with --verbose it streams per-point lines
     kw = dict(scale=args.scale, workers=workers, progress=R.detail)
+    if args.checkpoint or args.resume:
+        if args.name not in ("table1", "robustness", "replan", "contention"):
+            R.error(
+                f"--checkpoint/--resume is not supported for {args.name} "
+                "(available for table1, robustness, replan, contention)"
+            )
+            return 2
+        if args.resume and not args.checkpoint:
+            R.error("--resume requires --checkpoint")
+            return 2
+        kw.update(checkpoint=args.checkpoint, resume=args.resume)
     if args.name == "table1":
         R.out(format_table(table1.run(**kw)))
     elif args.name == "robustness":
@@ -606,6 +617,11 @@ def cmd_profile(args) -> int:
         return 2
 
     tracer, registry = obs.observe()
+    # pre-touch the supervision counters so the metrics dump always shows
+    # them (zero on a run that needed no retries/rebuilds)
+    for name in ("parallel.retries", "parallel.timeouts",
+                 "parallel.pool_rebuilds"):
+        registry.counter(name).inc(0)
     try:
         evaluator = _evaluator(g, args, platform)
         mapper = MAPPER_FACTORIES[args.algorithm]()
@@ -845,6 +861,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="OUT.json",
                    help="record a Chrome trace of the sweep (per-point "
                         "spans, per-worker lanes) viewable in Perfetto")
+    p.add_argument("--checkpoint", nargs="?", const="auto", metavar="PATH",
+                   help="journal completed cells so an interrupted sweep "
+                        "can restart (default path under "
+                        "results/checkpoints); table1, robustness, replan "
+                        "and contention only")
+    p.add_argument("--resume", action="store_true",
+                   help="with --checkpoint: reuse journalled cells from an "
+                        "interrupted run, recomputing only the rest "
+                        "(byte-identical output)")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(

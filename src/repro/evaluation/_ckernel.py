@@ -626,14 +626,23 @@ def _compile(cflags) -> Optional[str]:
                 c_path = os.path.join(tmp, "kernel.c")
                 with open(c_path, "w") as fh:
                     fh.write(_effective_source(cflags))
-                tmp_so = os.path.join(tmp, "kernel.so")
-                subprocess.run(
-                    [cc, *cflags, "-o", tmp_so, c_path],
-                    check=True,
-                    capture_output=True,
-                    timeout=120,
-                )
-                os.replace(tmp_so, so_path)  # atomic under concurrency
+                # stage the .so in the cache dir itself: os.replace is
+                # atomic only within one filesystem, and the system
+                # tmpdir is often a different mount — a cross-device
+                # move can fail or copy non-atomically, letting a
+                # concurrent process dlopen a half-written file
+                stage = f"{so_path}.tmp.{os.getpid()}"
+                try:
+                    subprocess.run(
+                        [cc, *cflags, "-o", stage, c_path],
+                        check=True,
+                        capture_output=True,
+                        timeout=120,
+                    )
+                    os.replace(stage, so_path)  # atomic under concurrency
+                finally:
+                    if os.path.exists(stage):
+                        os.unlink(stage)
             return so_path
         # any failure => try the next compiler, else the silent
         # pure-Python fallback: the C path is an optimization, never a

@@ -41,12 +41,17 @@ from ..evaluation import MappingEvaluator
 from ..graphs.generators import random_sp_graph
 from ..mappers import HeftMapper, sp_first_fit
 from ..obs import get_reporter
-from ..parallel import parallel_map, resolve_workers
+from ..parallel import (
+    SupervisedPool,
+    parallel_map,
+    plan_from_env,
+    resolve_workers,
+)
 from ..platform import paper_platform
 from ..platform.platform import Platform
 from ..runtime import RuntimeEngine, periodic_stream, throughput_report
 from .config import get_scale
-from .reporting import results_dir
+from .reporting import maybe_close, open_checkpoint, results_dir
 
 __all__ = [
     "ContentionPoint",
@@ -173,6 +178,8 @@ def run(
     seed: int = 79,
     workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ContentionResult:
     """Sweep link-slot settings and arrival rates under shared resources.
 
@@ -180,6 +187,8 @@ def run(
     per graph on the nominal platform, seeds are derived per graph), so
     moving along the link-slot or period axis changes only the resource
     model, never the workload — differences are pure contention effect.
+    ``checkpoint``/``resume`` journal completed cells (see
+    :func:`repro.experiments.reporting.open_checkpoint`).
     """
     cfg = get_scale(scale)
     workers = resolve_workers(workers, cfg.parallel_workers)
@@ -195,37 +204,43 @@ def run(
         (g, platform, cfg, child)
         for g, child in zip(graphs, map_seed.spawn(len(graphs)))
     ]
-    mapped = parallel_map(
-        _map_graph_worker, map_items, workers=workers,
-        progress=progress, label="mapped graph",
-    )
-    algorithms = list(mapped[0][0])
-    # the squeezed platform depends only on (algorithm, graph): build each
-    # once instead of per (link_slots, period) cell
-    run_platforms = {
-        (algorithm, k): _squeeze_fpga(
-            platform, mapped[k][2][algorithm], cfg.contention_area_headroom
+    journal = open_checkpoint("contention", cfg.name, seed, checkpoint, resume)
+    with SupervisedPool(workers, chaos=plan_from_env()) as executor, \
+            maybe_close(journal):
+        mapped = parallel_map(
+            _map_graph_worker, map_items, workers=workers,
+            progress=progress, label="mapped graph", executor=executor,
+            journal=journal,
         )
-        for algorithm in algorithms
-        for k in range(len(graphs))
-    }
+        algorithms = list(mapped[0][0])
+        # the squeezed platform depends only on (algorithm, graph): build
+        # each once instead of per (link_slots, period) cell
+        run_platforms = {
+            (algorithm, k): _squeeze_fpga(
+                platform, mapped[k][2][algorithm],
+                cfg.contention_area_headroom,
+            )
+            for algorithm in algorithms
+            for k in range(len(graphs))
+        }
 
-    items = []
-    for slots in cfg.contention_link_slots:
-        for frac in cfg.contention_period_fracs:
-            for algorithm in algorithms:
-                for k, graph in enumerate(graphs):
-                    mappings, analytics, _ = mapped[k]
-                    items.append((
-                        graph, run_platforms[algorithm, k],
-                        mappings[algorithm],
-                        analytics[algorithm], cfg.contention_jobs,
-                        frac, slots,
-                    ))
-    cells = parallel_map(
-        _contention_cell_worker, items, workers=workers,
-        progress=progress, label="contention cell",
-    )
+        items = []
+        for slots in cfg.contention_link_slots:
+            for frac in cfg.contention_period_fracs:
+                for algorithm in algorithms:
+                    for k, graph in enumerate(graphs):
+                        mappings, analytics, _ = mapped[k]
+                        items.append((
+                            graph, run_platforms[algorithm, k],
+                            mappings[algorithm],
+                            analytics[algorithm], cfg.contention_jobs,
+                            frac, slots,
+                        ))
+        cells = parallel_map(
+            _contention_cell_worker, items, workers=workers,
+            progress=progress, label="contention cell", executor=executor,
+            journal=journal,
+        )
 
     result = ContentionResult(
         title=(
@@ -347,6 +362,14 @@ if __name__ == "__main__":
     parser.add_argument(
         "--csv", action="store_true", help="also write a CSV into ./results/"
     )
+    parser.add_argument(
+        "--checkpoint", nargs="?", const="auto", metavar="PATH",
+        help="journal completed cells (default path under results/checkpoints)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse journalled cells from an interrupted --checkpoint run",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args()
     reporter = get_reporter()
@@ -355,7 +378,7 @@ if __name__ == "__main__":
     )
     result = run(
         scale=args.scale, seed=args.seed, workers=args.workers,
-        progress=progress,
+        progress=progress, checkpoint=args.checkpoint, resume=args.resume,
     )
     print_report(result)
     if args.csv:

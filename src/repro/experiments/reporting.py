@@ -16,7 +16,17 @@ from .runner import SweepResult
 
 _R = get_reporter()
 
-__all__ = ["format_sweep_table", "print_sweep", "write_csv", "results_dir"]
+__all__ = [
+    "format_sweep_table", "print_sweep", "write_csv", "results_dir",
+    "open_checkpoint", "maybe_close",
+]
+
+
+def maybe_close(journal):
+    """Context manager closing ``journal`` on exit; no-op for ``None``."""
+    from contextlib import nullcontext
+
+    return journal if journal is not None else nullcontext(None)
 
 
 def results_dir() -> str:
@@ -24,6 +34,32 @@ def results_dir() -> str:
     path = os.environ.get("REPRO_RESULTS_DIR", os.path.join(os.getcwd(), "results"))
     os.makedirs(path, exist_ok=True)
     return path
+
+
+def open_checkpoint(driver: str, cfg_name: str, seed: int,
+                    checkpoint, resume: bool = False):
+    """Resolve ``--checkpoint``/``--resume`` into an open journal (or None).
+
+    ``checkpoint`` may be falsy (no journalling), an explicit path, or
+    ``"auto"`` — the CLI's bare ``--checkpoint`` — which lands under
+    ``results/checkpoints/``.  The journal is fingerprinted with
+    ``driver:cfg:seed`` so a resume against a different configuration
+    fails loudly instead of splicing mismatched results.
+    """
+    if not checkpoint:
+        if resume:
+            raise ValueError("--resume requires --checkpoint")
+        return None
+    from ..parallel import SweepJournal
+
+    if checkpoint == "auto":
+        checkpoint = os.path.join(
+            results_dir(), "checkpoints",
+            f"{driver}_{cfg_name}_seed{seed}.journal",
+        )
+    return SweepJournal(
+        checkpoint, fingerprint=f"{driver}:{cfg_name}:{seed}", resume=resume
+    )
 
 
 def format_sweep_table(result: SweepResult, *, time_unit: str = "ms") -> str:

@@ -52,7 +52,12 @@ from ..mappers import (
     sn_first_fit,
     sp_first_fit,
 )
-from ..parallel import parallel_map, resolve_workers
+from ..parallel import (
+    SupervisedPool,
+    parallel_map,
+    plan_from_env,
+    resolve_workers,
+)
 from ..platform import paper_platform
 from ..runtime import (
     DeviceFailure,
@@ -63,7 +68,7 @@ from ..runtime import (
 )
 from ..obs import get_reporter
 from .config import get_scale
-from .reporting import results_dir
+from .reporting import maybe_close, open_checkpoint, results_dir
 
 __all__ = [
     "RobustnessPoint",
@@ -190,7 +195,7 @@ def _map_graph_worker(item) -> Tuple[Dict[str, List[int]], Dict[str, float]]:
 
 
 def _map_phase(graphs, platform, cfg, map_seed, workers, progress,
-               executor=None):
+               executor=None, journal=None):
     """Map every graph once; the sweeps reuse the mappings."""
     items = [
         (g, platform, cfg, child)
@@ -199,19 +204,19 @@ def _map_phase(graphs, platform, cfg, map_seed, workers, progress,
     out = parallel_map(
         _map_graph_worker, items, workers=workers,
         progress=progress, label="mapped graph", executor=executor,
+        journal=journal,
     )
     return [m for m, _ in out], [a for _, a in out]
 
 
 def _sweep_pool(workers):
-    """One process pool shared by a driver's map and simulate phases."""
-    from contextlib import nullcontext
+    """One supervised pool shared by a driver's map and simulate phases.
 
-    if workers <= 1:
-        return nullcontext(None)
-    from concurrent.futures import ProcessPoolExecutor
-
-    return ProcessPoolExecutor(max_workers=workers)
+    Retries transient failures, times out hung workers, and rebuilds the
+    executor after crashes; results are unaffected because every item
+    carries its own seeds (seed-sharding contract).
+    """
+    return SupervisedPool(workers, chaos=plan_from_env())
 
 
 def _noise_cell_worker(item) -> Tuple[float, float, float, float]:
@@ -257,6 +262,8 @@ def run(
     seed: int = 77,
     workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> RobustnessResult:
     """Sweep noise levels; returns mean/p95 degradation per algorithm.
 
@@ -264,6 +271,10 @@ def run(
     algorithm) from ``sim_seed`` and reused at every sigma, so curves
     along the noise axis are paired — seed variance never masquerades as
     a noise effect.
+
+    ``checkpoint``/``resume`` journal completed cells (see
+    :func:`repro.experiments.reporting.open_checkpoint`): a resumed run
+    recomputes only outstanding cells and emits a byte-identical CSV.
     """
     cfg = get_scale(scale)
     workers = resolve_workers(workers, cfg.parallel_workers)
@@ -276,10 +287,12 @@ def run(
         for s in graph_seed.spawn(cfg.robustness_graphs)
     ]
 
-    with _sweep_pool(workers) as executor:
+    journal = open_checkpoint("robustness", cfg.name, seed, checkpoint, resume)
+    with _sweep_pool(workers) as executor, maybe_close(journal):
         # map once per (graph, algorithm); the sweep reuses the mappings
         mappings, analytics = _map_phase(
-            graphs, platform, cfg, map_seed, workers, progress, executor
+            graphs, platform, cfg, map_seed, workers, progress, executor,
+            journal,
         )
         algorithms = list(mappings[0])
 
@@ -298,6 +311,7 @@ def run(
         cells = parallel_map(
             _noise_cell_worker, items, workers=workers,
             progress=progress, label="noise cell", executor=executor,
+            journal=journal,
         )
 
     result = RobustnessResult(
@@ -326,6 +340,8 @@ def run_replan(
     seed: int = 78,
     workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> ReplanResult:
     """Sweep re-mapping policies under a mid-run device failure.
 
@@ -333,6 +349,8 @@ def run_replan(
     ``cfg.replan_failure_frac`` of each mapping's analytic makespan;
     every policy replays the *same* seeds, failure instants and noise
     draws, so differences are pure policy effect.
+    ``checkpoint``/``resume`` journal completed cells exactly as in
+    :func:`run`.
     """
     cfg = get_scale(scale)
     workers = resolve_workers(workers, cfg.parallel_workers)
@@ -349,9 +367,11 @@ def run_replan(
         random_sp_graph(cfg.robustness_n_tasks, np.random.default_rng(s))
         for s in graph_seed.spawn(cfg.robustness_graphs)
     ]
-    with _sweep_pool(workers) as executor:
+    journal = open_checkpoint("replan", cfg.name, seed, checkpoint, resume)
+    with _sweep_pool(workers) as executor, maybe_close(journal):
         mappings, analytics = _map_phase(
-            graphs, platform, cfg, map_seed, workers, progress, executor
+            graphs, platform, cfg, map_seed, workers, progress, executor,
+            journal,
         )
         algorithms = list(mappings[0])
 
@@ -371,6 +391,7 @@ def run_replan(
         cells = parallel_map(
             _replan_cell_worker, items, workers=workers,
             progress=progress, label="replan cell", executor=executor,
+            journal=journal,
         )
 
     result = ReplanResult(
@@ -557,6 +578,14 @@ if __name__ == "__main__":
     parser.add_argument(
         "--csv", action="store_true", help="also write a CSV into ./results/"
     )
+    parser.add_argument(
+        "--checkpoint", nargs="?", const="auto", metavar="PATH",
+        help="journal completed cells (default path under results/checkpoints)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse journalled cells from an interrupted --checkpoint run",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args()
     reporter = get_reporter()
@@ -567,7 +596,7 @@ if __name__ == "__main__":
         seed = 78 if args.seed is None else args.seed
         replan = run_replan(
             scale=args.scale, seed=seed, workers=args.workers,
-            progress=progress,
+            progress=progress, checkpoint=args.checkpoint, resume=args.resume,
         )
         print_report(replan)
         if args.csv:
@@ -576,7 +605,7 @@ if __name__ == "__main__":
         seed = 77 if args.seed is None else args.seed
         result = run(
             scale=args.scale, seed=seed, workers=args.workers,
-            progress=progress,
+            progress=progress, checkpoint=args.checkpoint, resume=args.resume,
         )
         print_report(result)
         if args.csv:

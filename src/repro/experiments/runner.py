@@ -30,7 +30,7 @@ from ..graphs.taskgraph import TaskGraph
 from ..mappers.base import Mapper
 from ..obs import metrics as _obs_metrics
 from ..obs import trace as _trace
-from ..parallel import parallel_map
+from ..parallel import SupervisedPool, parallel_map, plan_from_env
 from ..platform.platform import Platform
 from .metrics import AggregateStats, aggregate
 
@@ -119,6 +119,7 @@ def run_point(
     x: float = 0.0,
     workers: int = 1,
     executor=None,
+    journal=None,
 ) -> PointResult:
     """Run every mapper on every graph of one sweep point.
 
@@ -126,7 +127,9 @@ def run_point(
     ``workers > 1`` fans the graphs out across a process pool; seeds are
     spawned per graph before dispatch, so results are identical to a
     serial run.  ``executor`` reuses a caller-owned pool (see
-    :func:`repro.parallel.parallel_map`).
+    :func:`repro.parallel.parallel_map`); a
+    :class:`~repro.parallel.SupervisedPool` adds retry/timeout/crash
+    recovery.  ``journal`` checkpoints per-graph results for resume.
     """
     seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     graph_seeds = seq.spawn(len(graphs))
@@ -142,7 +145,7 @@ def run_point(
         {"x": x, "graphs": len(items)} if _trace.enabled() else None,
     ):
         for rows in parallel_map(_point_graph_worker, items, workers=workers,
-                                 executor=executor):
+                                 executor=executor, journal=journal):
             for name, imp, elapsed, n_evals in rows:
                 improvements[name].append(imp)
                 times[name].append(elapsed)
@@ -171,28 +174,27 @@ def run_sweep(
     n_random_schedules: int = 100,
     progress: Optional[Callable[[str], None]] = None,
     workers: int = 1,
+    journal=None,
 ) -> SweepResult:
     """Run a full parameter sweep.
 
     ``make_graphs(x, rng)`` builds the graph set of a sweep point;
     ``make_mappers(x)`` the algorithms (some figures vary algorithm
     parameters along x, e.g. Fig. 6 sweeps NSGA-II generations).
-    ``workers`` sizes the process pool, created once and reused across
-    every sweep point (per-point pools would pay fork/teardown at each x).
+    ``workers`` sizes the supervised process pool, created once and
+    reused across every sweep point (per-point pools would pay
+    fork/teardown at each x); the pool retries transient failures,
+    times out hung workers and rebuilds after crashes — results are
+    unaffected (seed-sharding contract).  ``journal`` (a
+    :class:`~repro.parallel.SweepJournal`) checkpoints every completed
+    graph under a per-point key scope so an interrupted sweep resumes
+    without recomputation.
     """
-    from contextlib import nullcontext
-
     result = SweepResult(title=title, x_label=x_label)
     root = np.random.SeedSequence(seed)
     workers = max(1, int(workers))
-    if workers > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        pool_ctx = ProcessPoolExecutor(max_workers=workers)
-    else:
-        pool_ctx = nullcontext(None)
-    with pool_ctx as executor:
-        for x, sub in zip(xs, root.spawn(len(xs))):
+    with SupervisedPool(workers, chaos=plan_from_env()) as executor:
+        for i, (x, sub) in enumerate(zip(xs, root.spawn(len(xs)))):
             gen_seed, point_seed = sub.spawn(2)
             rng = np.random.default_rng(gen_seed)
             graphs = make_graphs(x, rng)
@@ -206,6 +208,8 @@ def run_sweep(
                 x=float(x),
                 workers=workers,
                 executor=executor,
+                journal=journal.scoped(f"point{i}:") if journal is not None
+                else None,
             )
             result.points.append(point)
             if progress is not None:

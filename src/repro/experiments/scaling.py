@@ -27,6 +27,7 @@ from ..obs import get_reporter
 from ..parallel import resolve_workers
 from ..platform import paper_platform
 from .config import get_scale
+from .reporting import maybe_close, open_checkpoint
 from .runner import SweepResult, run_sweep
 
 __all__ = ["run", "fit_exponents"]
@@ -38,7 +39,16 @@ def run(
     seed: int = 30,
     workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> SweepResult:
+    """Measure mapper wall time over graph size.
+
+    ``checkpoint``/``resume`` journal completed per-graph work through
+    :func:`~repro.experiments.runner.run_sweep` — note only the
+    seed-derived columns of a resumed run are meaningful here, since this
+    driver's whole point is wall-clock timing.
+    """
     cfg = get_scale(scale)
     platform = paper_platform()
 
@@ -50,18 +60,21 @@ def run(
     def make_mappers(x: float):
         return [single_node(), series_parallel(), sn_first_fit(), sp_first_fit()]
 
-    return run_sweep(
-        "Scaling decomposition mappers",
-        "n_tasks",
-        cfg.fig4_sizes,
-        make_graphs,
-        make_mappers,
-        platform,
-        seed=seed,
-        n_random_schedules=max(5, cfg.n_random_schedules // 5),
-        progress=progress,
-        workers=resolve_workers(workers, cfg.parallel_workers),
-    )
+    journal = open_checkpoint("scaling", cfg.name, seed, checkpoint, resume)
+    with maybe_close(journal):
+        return run_sweep(
+            "Scaling decomposition mappers",
+            "n_tasks",
+            cfg.fig4_sizes,
+            make_graphs,
+            make_mappers,
+            platform,
+            seed=seed,
+            n_random_schedules=max(5, cfg.n_random_schedules // 5),
+            progress=progress,
+            workers=resolve_workers(workers, cfg.parallel_workers),
+            journal=journal,
+        )
 
 
 def fit_exponents(result: SweepResult) -> Dict[str, float]:
@@ -92,10 +105,19 @@ if __name__ == "__main__":
         "--workers", type=int, default=None,
         help="process-pool size (default: scale config; 0 = all CPUs)",
     )
+    parser.add_argument(
+        "--checkpoint", nargs="?", const="auto", metavar="PATH",
+        help="journal completed cells (default path under results/checkpoints)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse journalled cells from an interrupted --checkpoint run",
+    )
     args = parser.parse_args()
     from .reporting import print_sweep
 
-    result = run(scale=args.scale, seed=args.seed, workers=args.workers)
+    result = run(scale=args.scale, seed=args.seed, workers=args.workers,
+                 checkpoint=args.checkpoint, resume=args.resume)
     print_sweep(result)
     reporter = get_reporter()
     reporter.out("\nfitted time ~ n^alpha exponents:")

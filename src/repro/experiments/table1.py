@@ -33,10 +33,15 @@ from ..mappers import (
     sp_first_fit,
 )
 from ..obs import get_reporter
-from ..parallel import parallel_map, resolve_workers
+from ..parallel import (
+    SupervisedPool,
+    parallel_map,
+    plan_from_env,
+    resolve_workers,
+)
 from ..platform import paper_platform
 from .config import get_scale
-from .reporting import results_dir
+from .reporting import maybe_close, open_checkpoint, results_dir
 
 __all__ = ["Table1Result", "run", "format_table"]
 
@@ -101,7 +106,12 @@ def run(
     families: Optional[List[str]] = None,
     workers: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> Table1Result:
+    """Reproduce Table I; ``checkpoint``/``resume`` journal completed
+    cells so an interrupted run restarts where it left off (see
+    :func:`repro.experiments.reporting.open_checkpoint`)."""
     cfg = get_scale(scale)
     workers = resolve_workers(workers, cfg.parallel_workers)
     platform = paper_platform()
@@ -122,10 +132,14 @@ def run(
         ):
             for param_seed in size_seed.spawn(cfg.table1_parameterizations):
                 items.append((family, size, param_seed, cfg, platform))
-    cells = parallel_map(
-        _param_worker, items, workers=workers,
-        progress=progress, label="table1 cell",
-    )
+    journal = open_checkpoint("table1", cfg.name, seed, checkpoint, resume)
+    with SupervisedPool(workers, chaos=plan_from_env()) as executor, \
+            maybe_close(journal):
+        cells = parallel_map(
+            _param_worker, items, workers=workers,
+            progress=progress, label="table1 cell", executor=executor,
+            journal=journal,
+        )
 
     it = iter(cells)
     for family in sorted(sizes):
@@ -209,6 +223,14 @@ if __name__ == "__main__":
         help="process-pool size (default: scale config; 0 = all CPUs)",
     )
     parser.add_argument("--csv", action="store_true")
+    parser.add_argument(
+        "--checkpoint", nargs="?", const="auto", metavar="PATH",
+        help="journal completed cells (default path under results/checkpoints)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse journalled cells from an interrupted --checkpoint run",
+    )
     args = parser.parse_args()
     reporter = get_reporter()
     table = run(
@@ -217,6 +239,8 @@ if __name__ == "__main__":
         families=args.families,
         workers=args.workers,
         progress=lambda msg: reporter.out(f"  [{msg}]"),
+        checkpoint=args.checkpoint,
+        resume=args.resume,
     )
     reporter.out(format_table(table))
     if args.csv:

@@ -1,4 +1,4 @@
-"""Parallel experiment backbone: deterministic process-pool fan-out.
+"""Parallel experiment backbone: deterministic, fault-tolerant fan-out.
 
 Every experiment driver (:mod:`repro.experiments`) runs its
 per-(configuration, replication) work through :func:`parallel_map`, so a
@@ -9,11 +9,35 @@ seeds are spawned in serial enumeration order before dispatch, workers are
 pure functions of their items, and results are re-assembled in submission
 order.
 
+The same contract powers the fault-tolerance layer: a
+:class:`SupervisedPool` retries, times out and rebuilds around worker
+failures (:mod:`repro.parallel.supervisor`), a :class:`FaultPlan`
+injects deterministic chaos for rehearsal (:mod:`repro.parallel.faults`),
+and a :class:`SweepJournal` checkpoints completed items so an interrupted
+sweep resumes without recomputing — or changing — anything
+(:mod:`repro.parallel.journal`).
+
 >>> from repro.parallel import parallel_map
 >>> parallel_map(abs, [-3, -1, 2], workers=2)
 [3, 1, 2]
 """
 
+from .faults import ChaosError, FaultPlan, plan_from_env, plan_from_spec
+from .journal import JournalError, SweepJournal
 from .pool import parallel_map, resolve_workers, spawn_seeds
+from .supervisor import ItemFailedError, RetryPolicy, SupervisedPool
 
-__all__ = ["parallel_map", "resolve_workers", "spawn_seeds"]
+__all__ = [
+    "parallel_map",
+    "resolve_workers",
+    "spawn_seeds",
+    "SupervisedPool",
+    "RetryPolicy",
+    "ItemFailedError",
+    "FaultPlan",
+    "ChaosError",
+    "plan_from_spec",
+    "plan_from_env",
+    "SweepJournal",
+    "JournalError",
+]

@@ -18,7 +18,11 @@ results bit-identical to a serial run is simple and strict:
 
 Under these rules ``parallel_map(fn, items, workers=1)`` and
 ``workers=N`` produce the *same floats in the same order*: the serial
-path is a plain in-process loop over the identical items.
+path is a plain in-process loop over the identical items.  The same
+three rules make the fault-tolerance layer free: a retried item reruns
+the same pure function on the same attached seed, and a journalled item
+replays to the same value, so supervision and checkpoint/resume change
+*nothing* about the numbers (see ``README.md`` next to this module).
 
 The pool uses :class:`concurrent.futures.ProcessPoolExecutor`, so worker
 functions must be module-level (picklable by reference).  Wall-clock
@@ -35,11 +39,16 @@ import numpy as np
 
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from .faults import FaultPlan, plan_from_env
+from .supervisor import ItemFailedError, RetryPolicy, SupervisedPool
 
 __all__ = ["parallel_map", "resolve_workers", "spawn_seeds"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: distinguishes "not journalled" from a journalled None result
+_MISSING = object()
 
 
 def resolve_workers(workers: Optional[int], default: int = 1) -> int:
@@ -109,87 +118,154 @@ def parallel_map(
     progress: Optional[Callable[[str], None]] = None,
     label: str = "task",
     executor=None,
+    policy: Optional[RetryPolicy] = None,
+    chaos: Optional[FaultPlan] = None,
+    journal=None,
 ) -> List[R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
     Returns results in item order regardless of completion order.  With
     ``workers <= 1`` (or a single item) this is a plain serial loop — the
     reference behaviour the pool path must reproduce bit-identically.
-    The first worker exception is re-raised in the parent.
+    A failing item is re-raised in the parent as
+    :class:`~repro.parallel.supervisor.ItemFailedError` naming the
+    (label, item) cell.
 
     ``executor`` lets a caller that issues many small batches (a sweep
-    with one :func:`parallel_map` per point) reuse one long-lived
-    :class:`~concurrent.futures.ProcessPoolExecutor` instead of paying
-    pool startup/teardown per batch; the caller owns its lifetime.
+    with one :func:`parallel_map` per point) reuse one long-lived pool;
+    the caller owns its lifetime.  Passing a
+    :class:`~repro.parallel.supervisor.SupervisedPool` (what the drivers
+    do) adds retries, per-item timeouts and crash recovery; ``policy``
+    requests the same supervision for a one-shot call.  ``chaos`` (or an
+    armed ``REPRO_CHAOS`` environment) injects deterministic faults for
+    rehearsal — see :mod:`repro.parallel.faults`.
+
+    ``journal`` (a :class:`~repro.parallel.journal.SweepJournal` or a
+    scoped view) checkpoints completed items under ``"{label}:{index}"``
+    keys and, on resume, replays journalled results without recomputing
+    them — byte-identical by the seed-sharding contract.
     """
     items = list(items)
     n = len(items)
     if n == 0:
         return []
+    if chaos is None:
+        chaos = plan_from_env()
+    if policy is None and chaos is not None and not isinstance(
+        executor, SupervisedPool
+    ):
+        # an armed chaos plan with no explicit supervision would just
+        # crash the sweep; adopt a policy sized to outlast the plan
+        policy = RetryPolicy.for_chaos(chaos)
+
     # With observability on, every item runs under _observed_call and
     # its spans/metrics are merged back here in submission order (a
     # deterministic structure however the pool schedules).  The wrapped
     # payload changes nothing about the item or its seeds, so results
     # remain bit-identical to an unobserved run.
     observed = _trace.enabled()
+    anchor = _trace.get_tracer()._clock() if observed else 0
+    call = _observed_call if observed else fn
+    payloads = [(fn, item) for item in items] if observed else items
+
+    results: List = [None] * n
+    fresh: dict = {}               # index -> (spans, snapshot) this run
+    done_count = 0
+    pending = list(range(n))
+    if journal is not None:
+        pending = []
+        for k in range(n):
+            hit = journal.get(f"{label}:{k}", _MISSING)
+            if hit is _MISSING:
+                pending.append(k)
+            else:
+                results[k] = hit
+                done_count += 1
+
+    def _complete(pos: int, payload) -> None:
+        """Fold one finished item (journal, progress, span bookkeeping)."""
+        nonlocal done_count
+        k = pending[pos]
+        if observed:
+            value, spans, snapshot = payload
+            fresh[k] = (spans, snapshot)
+        else:
+            value = payload
+        results[k] = value
+        if journal is not None:
+            # the journal stores the bare value: resume must work
+            # whether or not the next run observes
+            journal.record(f"{label}:{k}", value)
+        done_count += 1
+        if progress is not None:
+            progress(f"{label} {done_count}/{n}")
+
+    if pending:
+        sub = [payloads[k] for k in pending]
+        eff_workers = min(resolve_workers(workers), len(pending))
+        if isinstance(executor, SupervisedPool):
+            executor.run(call, sub, indices=pending, total=n,
+                         label=label, on_result=_complete)
+        elif policy is not None:
+            with SupervisedPool(eff_workers, policy=policy,
+                                chaos=chaos) as sup:
+                sup.run(call, sub, indices=pending, total=n,
+                        label=label, on_result=_complete)
+        elif eff_workers == 1 and executor is None:
+            for pos, k in enumerate(pending):
+                try:
+                    out = call(sub[pos])
+                except Exception as exc:  # noqa: BLE001 — name the cell
+                    raise ItemFailedError(label, k, n, 1, exc) from exc
+                _complete(pos, out)
+        else:
+            if executor is not None:
+                _pooled_map(executor, call, sub, pending, n, label, _complete)
+            else:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=eff_workers) as pool:
+                    _pooled_map(pool, call, sub, pending, n, label, _complete)
+
     if observed:
-        tracer = _trace.get_tracer()
-        anchor = tracer._clock()
-        items = [(fn, item) for item in items]
-        fn = _observed_call
-    workers = min(resolve_workers(workers), n)
-    if workers == 1 and executor is None:
-        results = []
-        for k, item in enumerate(items):
-            results.append(fn(item))
-            if progress is not None:
-                progress(f"{label} {k + 1}/{n}")
-        return _merge_observed(results, label, anchor) if observed else results
-    if executor is not None:
-        results = _pooled_map(executor, fn, items, progress, label)
-        return _merge_observed(results, label, anchor) if observed else results
-
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        results = _pooled_map(pool, fn, items, progress, label)
-    return _merge_observed(results, label, anchor) if observed else results
+        _merge_observed(fresh, n, label, anchor)
+    return results
 
 
-def _merge_observed(results: List, label: str, anchor_ns: int) -> List:
-    """Fold per-item ``(result, spans, metrics)`` triples into the
-    parent tracer/registry; return the bare results in item order."""
+def _merge_observed(fresh: dict, n: int, label: str, anchor_ns: int) -> None:
+    """Fold per-item ``(spans, metrics)`` pairs into the parent
+    tracer/registry in item order (journal-replayed items executed in an
+    earlier run and contribute nothing)."""
     tracer = _trace.get_tracer()
     registry = _metrics.get_registry()
-    out = []
-    for k, (result, spans, snapshot) in enumerate(results):
+    for k in range(n):
+        entry = fresh.get(k)
+        if entry is None:
+            continue
+        spans, snapshot = entry
         if tracer is not None:
             tracer.merge(spans, label=f"{label} {k}", anchor_ns=anchor_ns)
         if registry is not None:
             registry.merge(snapshot)
-        out.append(result)
-    return out
 
 
-def _pooled_map(pool, fn, items, progress, label) -> List:
-    """Submit all items to ``pool``; gather results in item order."""
+def _pooled_map(pool, call, payloads, pending, n, label, complete) -> None:
+    """Submit all payloads to a bare ``pool``; fail fast on the first error."""
     from concurrent.futures import FIRST_EXCEPTION, wait
 
-    n = len(items)
-    results: List = [None] * n
-    futures = {pool.submit(fn, item): k for k, item in enumerate(items)}
-    pending = set(futures)
-    done_count = 0
-    while pending:
-        done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+    futures = {
+        pool.submit(call, payload): pos
+        for pos, payload in enumerate(payloads)
+    }
+    waiting = set(futures)
+    while waiting:
+        done, waiting = wait(waiting, return_when=FIRST_EXCEPTION)
         for fut in done:
             exc = fut.exception()
             if exc is not None:
-                for other in pending:
+                for other in waiting:
                     other.cancel()
-                raise exc
-            results[futures[fut]] = fut.result()
-            done_count += 1
-            if progress is not None:
-                progress(f"{label} {done_count}/{n}")
-    return results
+                raise ItemFailedError(
+                    label, pending[futures[fut]], n, 1, exc
+                ) from exc
+            complete(futures[fut], fut.result())

@@ -54,7 +54,7 @@ class TestRegistry:
     def test_all_shipped_rules_registered(self):
         assert rule_codes() == [
             "CLI001", "DET001", "DET002", "EXC001",
-            "KER001", "OBS001", "PAR001", "TOL001",
+            "KER001", "OBS001", "PAR001", "PAR002", "TOL001",
         ]
 
     def test_unknown_code_rejected(self):
@@ -248,6 +248,64 @@ class TestPar001:
             "r = parallel_map(lambda x: x, [1])\n"
         )
         assert codes_for(src, path=OUT) == ["PAR001"]
+
+
+# ---------------------------------------------------------------------------
+# PAR002 bounded retries / no ad-hoc sleeps
+# ---------------------------------------------------------------------------
+
+class TestPar002:
+    def test_time_sleep_in_algorithm_module(self):
+        src = "import time\ntime.sleep(0.5)\n"
+        assert codes_for(src, select="PAR002") == ["PAR002"]
+
+    def test_sleep_alias_resolved(self):
+        src = "from time import sleep\nsleep(1)\n"
+        assert codes_for(src, select="PAR002") == ["PAR002"]
+
+    def test_unbounded_retry_loop_flagged(self):
+        src = (
+            "while True:\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        continue\n"
+        )
+        assert codes_for(src, select="PAR002") == ["PAR002"]
+
+    def test_loop_with_break_ok(self):
+        src = (
+            "while True:\n"
+            "    try:\n"
+            "        work()\n"
+            "        break\n"
+            "    except ValueError:\n"
+            "        continue\n"
+        )
+        assert codes_for(src, select="PAR002") == []
+
+    def test_bounded_for_retry_ok(self):
+        src = (
+            "for attempt in range(3):\n"
+            "    try:\n"
+            "        work()\n"
+            "    except ValueError:\n"
+            "        continue\n"
+        )
+        assert codes_for(src, select="PAR002") == []
+
+    def test_obs_and_cli_exempt(self):
+        src = "import time\ntime.sleep(0.5)\n"
+        assert codes_for(src, path=OBS, select="PAR002") == []
+        assert codes_for(src, path=CLI, select="PAR002") == []
+
+    def test_outside_package_ok(self):
+        src = "import time\ntime.sleep(0.5)\n"
+        assert codes_for(src, path=OUT, select="PAR002") == []
+
+    def test_pragma_suppresses(self):
+        src = "import time\ntime.sleep(0.5)  # repro-lint: disable=PAR002\n"
+        assert codes_for(src, select="PAR002") == []
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,480 @@
+"""The fault-tolerant execution layer: supervision, chaos, checkpoint/resume.
+
+Three acceptance pins from PR 8:
+
+- **chaos proof** — a sweep with injected worker SIGKILLs, hangs and
+  transient exceptions produces a byte-identical results CSV to the
+  fault-free run (seed-sharding contract: a retried item reuses its
+  attached seed, so *when or where* it runs cannot matter);
+- **resume proof** — an interrupted ``--checkpoint`` run resumed with
+  ``--resume`` recomputes only outstanding items and emits a
+  byte-identical CSV;
+- **determinism of the chaos plan itself** — same seed ⇒ same injected
+  faults, so a chaos test that passes once passes always.
+"""
+
+import dataclasses
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import robustness
+from repro.experiments.config import get_scale
+from repro.obs import metrics as obs_metrics
+from repro.parallel import (
+    ChaosError,
+    FaultPlan,
+    ItemFailedError,
+    JournalError,
+    RetryPolicy,
+    SupervisedPool,
+    SweepJournal,
+    parallel_map,
+    plan_from_env,
+    plan_from_spec,
+)
+
+# module-level workers: the process pool pickles functions by reference
+def _double(x):
+    return 2 * x
+
+
+def _always_fail(x):
+    raise ValueError(f"cell {x} exploded")
+
+
+def _append_marker(item):
+    """Side-effecting worker counting real executions (resume tests)."""
+    path, value = item
+    with open(path, "a") as fh:
+        fh.write(f"{value}\n")
+    return value * 10
+
+
+def _no_backoff(**kw):
+    return RetryPolicy(backoff_base_s=0.0, **kw)
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan: deterministic chaos decisions
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_same_seed_same_faults(self):
+        a = FaultPlan(seed=11, crash=0.2, hang=0.1, error=0.3)
+        b = FaultPlan(seed=11, crash=0.2, hang=0.1, error=0.3)
+        decisions = [
+            (label, i, att)
+            for label in ("noise cell", "mapped graph")
+            for i in range(40)
+            for att in range(2)
+        ]
+        assert [a.fault_for(*d) for d in decisions] == \
+            [b.fault_for(*d) for d in decisions]
+
+    def test_different_seed_different_faults(self):
+        a = FaultPlan(seed=1, crash=0.5)
+        b = FaultPlan(seed=2, crash=0.5)
+        decisions = [("t", i, 0) for i in range(60)]
+        assert [a.fault_for(*d) for d in decisions] != \
+            [b.fault_for(*d) for d in decisions]
+
+    def test_rates_select_fault_kinds(self):
+        crash_only = FaultPlan(seed=3, crash=1.0)
+        assert crash_only.fault_for("t", 0, 0) == "crash"
+        error_only = FaultPlan(seed=3, error=1.0)
+        assert error_only.fault_for("t", 0, 0) == "error"
+        hang_only = FaultPlan(seed=3, hang=1.0)
+        assert hang_only.fault_for("t", 0, 0) == "hang"
+        never = FaultPlan(seed=3)
+        assert all(never.fault_for("t", i, 0) is None for i in range(20))
+
+    def test_attempts_past_max_faults_run_clean(self):
+        plan = FaultPlan(seed=3, crash=1.0, max_faults=2)
+        assert plan.fault_for("t", 0, 0) == "crash"
+        assert plan.fault_for("t", 0, 1) == "crash"
+        assert plan.fault_for("t", 0, 2) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, crash=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, crash=0.6, error=0.6)
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, timeout_s=0.0)
+
+    def test_inject_error_raises_everywhere(self):
+        plan = FaultPlan(seed=1, error=1.0)
+        with pytest.raises(ChaosError):
+            plan.inject("error", in_worker=False)
+
+    def test_process_faults_are_noops_in_process(self):
+        plan = FaultPlan(seed=1, crash=0.5, hang=0.5)
+        plan.inject("crash", in_worker=False)   # must not kill the test
+        plan.inject("hang", in_worker=False)    # must not sleep hang_s
+
+    def test_spec_round_trip(self):
+        plan = plan_from_spec(
+            "seed=11, crash=0.15, hang=0.05, error=0.2, timeout=5, "
+            "max_faults=2, hang_s=30"
+        )
+        assert plan == FaultPlan(seed=11, crash=0.15, hang=0.05, error=0.2,
+                                 timeout_s=5.0, max_faults=2, hang_s=30.0)
+
+    def test_spec_errors(self):
+        with pytest.raises(ValueError):
+            plan_from_spec("crash=0.1")          # seed is mandatory
+        with pytest.raises(ValueError):
+            plan_from_spec("seed=1,nope=2")
+        with pytest.raises(ValueError):
+            plan_from_spec("seed=1,crash")
+
+    def test_plan_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert plan_from_env() is None
+        monkeypatch.setenv("REPRO_CHAOS", "seed=7,error=0.5")
+        assert plan_from_env() == FaultPlan(seed=7, error=0.5)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_pool_rebuilds=-1)
+
+    def test_backoff_is_bounded_exponential(self):
+        p = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                        backoff_max_s=0.35)
+        assert p.backoff_s(0) == pytest.approx(0.1)
+        assert p.backoff_s(1) == pytest.approx(0.2)
+        assert p.backoff_s(2) == pytest.approx(0.35)   # capped
+        assert p.backoff_s(10) == pytest.approx(0.35)
+
+    def test_for_chaos_outlasts_the_plan(self):
+        plan = FaultPlan(seed=1, crash=0.5, max_faults=4, timeout_s=3.0)
+        policy = RetryPolicy.for_chaos(plan)
+        assert policy.max_attempts > plan.max_faults
+        assert policy.timeout_s == plan.timeout_s
+
+
+# ---------------------------------------------------------------------------
+# supervised execution: retries, crash recovery, timeouts, degradation
+# ---------------------------------------------------------------------------
+
+class TestSupervisedExecution:
+    def test_serial_transient_errors_are_retried(self):
+        plan = FaultPlan(seed=5, error=1.0, max_faults=1)
+        out = parallel_map(_double, [1, 2, 3], workers=1, chaos=plan,
+                           policy=_no_backoff(max_attempts=3))
+        assert out == [2, 4, 6]
+
+    def test_exhausted_retries_name_the_cell(self):
+        plan = FaultPlan(seed=5, error=1.0, max_faults=9)
+        with pytest.raises(ItemFailedError) as exc_info:
+            parallel_map(_double, [7], workers=1, chaos=plan,
+                         policy=_no_backoff(max_attempts=2), label="cell")
+        err = exc_info.value
+        assert isinstance(err, RuntimeError)
+        assert err.label == "cell" and err.index == 0 and err.attempts == 2
+        assert isinstance(err.cause, ChaosError)
+        assert "cell item 1/1 failed after 2 attempt(s)" in str(err)
+
+    def test_unsupervised_failures_name_the_cell_too(self):
+        with pytest.raises(ItemFailedError, match="unit item 1/1"):
+            parallel_map(_always_fail, [9], workers=1, label="unit")
+        with pytest.raises(ItemFailedError, match=r"exploded"):
+            parallel_map(_always_fail, [9, 10], workers=2)
+
+    def test_sigkilled_workers_recover_bit_identically(self):
+        seeds = np.random.SeedSequence(42).spawn(6)
+        clean = parallel_map(_draw, seeds, workers=1)
+        plan = FaultPlan(seed=13, crash=1.0, max_faults=1, timeout_s=60)
+        chaotic = parallel_map(
+            _draw, seeds, workers=2, chaos=plan,
+            policy=_no_backoff(max_attempts=3, timeout_s=60),
+        )
+        assert chaotic == clean
+
+    def test_crash_recovery_counts_rebuilds(self):
+        registry = obs_metrics.enable()
+        try:
+            plan = FaultPlan(seed=13, crash=1.0, max_faults=1, timeout_s=60)
+            parallel_map(_double, list(range(4)), workers=2, chaos=plan,
+                         policy=_no_backoff(max_attempts=3, timeout_s=60))
+            snapshot = registry.snapshot()
+        finally:
+            obs_metrics.disable()
+        assert snapshot["parallel.pool_rebuilds"] >= 1
+        assert snapshot["parallel.attempts"]["n"] == 4
+
+    def test_hung_worker_times_out_and_retries(self):
+        plan = FaultPlan(seed=13, hang=1.0, max_faults=1,
+                         hang_s=30.0, timeout_s=1.0)
+        registry = obs_metrics.enable()
+        try:
+            out = parallel_map(_double, [5, 6], workers=2, chaos=plan,
+                               policy=RetryPolicy.for_chaos(plan))
+            snapshot = registry.snapshot()
+        finally:
+            obs_metrics.disable()
+        assert out == [10, 12]
+        assert snapshot["parallel.timeouts"] >= 1
+
+    def test_repeated_crashes_degrade_to_serial(self):
+        # every pooled attempt crashes its worker, forever: the pool must
+        # give up on processes and still finish in-process
+        plan = FaultPlan(seed=13, crash=1.0, max_faults=99, timeout_s=60)
+        out = parallel_map(
+            _double, [1, 2, 3], workers=2, chaos=plan,
+            policy=_no_backoff(max_attempts=50, max_pool_rebuilds=1,
+                               timeout_s=60),
+        )
+        assert out == [2, 4, 6]
+
+    def test_supervised_pool_reused_across_batches(self):
+        with SupervisedPool(2, policy=_no_backoff()) as pool:
+            a = parallel_map(_double, [1, 2, 3], workers=2, executor=pool)
+            b = parallel_map(_double, [4, 5], workers=2, executor=pool)
+        assert (a, b) == ([2, 4, 6], [8, 10])
+
+
+def _draw(seed_seq):
+    return float(np.random.default_rng(seed_seq).random())
+
+
+# ---------------------------------------------------------------------------
+# journal: format, resume, scoping
+# ---------------------------------------------------------------------------
+
+class TestJournal:
+    def test_resume_recomputes_only_outstanding(self, tmp_path):
+        marker = str(tmp_path / "calls.txt")
+        journal_path = str(tmp_path / "sweep.journal")
+        items = [(marker, v) for v in range(5)]
+
+        with SweepJournal(journal_path, fingerprint="t:1") as journal:
+            full = parallel_map(_append_marker, items, workers=1,
+                                journal=journal)
+        assert full == [0, 10, 20, 30, 40]
+        assert open(marker).read().splitlines() == ["0", "1", "2", "3", "4"]
+
+        # simulate an interrupt: drop the last two journalled records
+        lines = open(journal_path).read().splitlines()
+        with open(journal_path, "w") as fh:
+            fh.write("\n".join(lines[:-2]) + "\n")
+
+        os.unlink(marker)
+        with SweepJournal(journal_path, fingerprint="t:1",
+                          resume=True) as journal:
+            assert journal.n_loaded == 3
+            resumed = parallel_map(_append_marker, items, workers=1,
+                                   journal=journal)
+            assert journal.n_recorded == 2
+        assert resumed == full
+        # only the two outstanding items actually ran
+        assert open(marker).read().splitlines() == ["3", "4"]
+
+    def test_progress_counts_journalled_items(self, tmp_path):
+        journal_path = str(tmp_path / "sweep.journal")
+        with SweepJournal(journal_path, fingerprint="t:1") as journal:
+            parallel_map(_double, [1, 2, 3], workers=1, journal=journal,
+                         label="unit")
+        messages = []
+        with SweepJournal(journal_path, fingerprint="t:1",
+                          resume=True) as journal:
+            parallel_map(_double, [1, 2, 3, 4], workers=1, journal=journal,
+                         progress=messages.append, label="unit")
+        assert messages == ["unit 4/4"]
+
+    def test_partial_trailing_line_is_dropped(self, tmp_path):
+        path = str(tmp_path / "j.journal")
+        with SweepJournal(path, fingerprint="t:1") as journal:
+            journal.record("a", 1)
+            journal.record("b", 2)
+        with open(path, "a") as fh:
+            fh.write('{"k": "c", "p": "AAAA')   # crash mid-append
+        with SweepJournal(path, fingerprint="t:1", resume=True) as journal:
+            assert journal.n_loaded == 2
+            assert journal.n_corrupt == 1
+            assert journal.get("a") == 1
+            assert "c" not in journal
+
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        path = str(tmp_path / "j.journal")
+        SweepJournal(path, fingerprint="robustness:smoke:77").close()
+        with pytest.raises(JournalError, match="fingerprint"):
+            SweepJournal(path, fingerprint="robustness:smoke:78", resume=True)
+
+    def test_resume_without_prior_file_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "new.journal")
+        with SweepJournal(path, fingerprint="t:1", resume=True) as journal:
+            assert journal.n_loaded == 0
+            journal.record("a", 1)
+
+    def test_checkpoint_without_resume_truncates(self, tmp_path):
+        path = str(tmp_path / "j.journal")
+        with SweepJournal(path, fingerprint="t:1") as journal:
+            journal.record("a", 1)
+        with SweepJournal(path, fingerprint="t:1") as journal:
+            assert "a" not in journal
+
+    def test_scoped_keys_do_not_collide(self, tmp_path):
+        path = str(tmp_path / "j.journal")
+        with SweepJournal(path, fingerprint="t:1") as journal:
+            journal.scoped("point0:").record("task:0", 1.0)
+            journal.scoped("point1:").record("task:0", 2.0)
+        with SweepJournal(path, fingerprint="t:1", resume=True) as journal:
+            assert journal.scoped("point0:").get("task:0") == 1.0
+            assert journal.scoped("point1:").get("task:0") == 2.0
+
+
+# ---------------------------------------------------------------------------
+# driver-level proofs (robustness sweep at tiny scale)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return dataclasses.replace(
+        get_scale("smoke"),
+        robustness_noise_levels=[0.2],
+        robustness_replications=2,
+        robustness_n_tasks=12,
+        robustness_graphs=2,
+        nsga_generations=4,
+        n_random_schedules=3,
+    )
+
+
+def _robustness_csv(result):
+    buf = io.StringIO()
+    robustness.write_robustness_csv(result, fileobj=buf)
+    return buf.getvalue()
+
+
+class TestChaosSweepEquivalence:
+    def test_faulted_sweep_csv_matches_clean_run(self, tiny_scale,
+                                                 monkeypatch):
+        """The chaos proof: worker SIGKILLs and transient exceptions
+        injected mid-sweep change nothing about the CSV."""
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        clean = _robustness_csv(
+            robustness.run(scale=tiny_scale, seed=1, workers=1)
+        )
+        monkeypatch.setenv(
+            "REPRO_CHAOS", "seed=11,crash=0.25,error=0.2,timeout=60"
+        )
+        chaotic = _robustness_csv(
+            robustness.run(scale=tiny_scale, seed=1, workers=2)
+        )
+        assert chaotic == clean
+
+
+class TestResumeEquivalence:
+    def test_interrupted_then_resumed_csv_is_byte_identical(
+        self, tiny_scale, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        journal_path = str(tmp_path / "robustness.journal")
+
+        reference = _robustness_csv(
+            robustness.run(scale=tiny_scale, seed=1, workers=1)
+        )
+        checkpointed = _robustness_csv(robustness.run(
+            scale=tiny_scale, seed=1, workers=1, checkpoint=journal_path,
+        ))
+        assert checkpointed == reference
+
+        # interrupt: drop the last 4 journalled cells, then resume
+        lines = open(journal_path).read().splitlines()
+        assert len(lines) > 5
+        with open(journal_path, "w") as fh:
+            fh.write("\n".join(lines[:-4]) + "\n")
+        resumed = _robustness_csv(robustness.run(
+            scale=tiny_scale, seed=1, workers=1, checkpoint=journal_path,
+            resume=True,
+        ))
+        assert resumed == reference
+        # the resumed run appended exactly the dropped records back
+        assert len(open(journal_path).read().splitlines()) == len(lines)
+
+    def test_fully_journalled_resume_recomputes_nothing(
+        self, tiny_scale, tmp_path, monkeypatch
+    ):
+        journal_path = str(tmp_path / "robustness.journal")
+        first = _robustness_csv(robustness.run(
+            scale=tiny_scale, seed=1, workers=1, checkpoint=journal_path,
+        ))
+        # poison every worker: a resume that recomputes anything dies
+        monkeypatch.setattr(
+            robustness, "_noise_cell_worker", _always_fail
+        )
+        monkeypatch.setattr(
+            robustness, "_map_graph_worker", _always_fail
+        )
+        resumed = _robustness_csv(robustness.run(
+            scale=tiny_scale, seed=1, workers=1, checkpoint=journal_path,
+            resume=True,
+        ))
+        assert resumed == first
+
+    def test_resume_requires_checkpoint(self, tiny_scale):
+        with pytest.raises(ValueError, match="--resume requires"):
+            robustness.run(scale=tiny_scale, seed=1, workers=1, resume=True)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestCheckpointCli:
+    def test_checkpoint_flags_reach_the_driver(self, capsys, monkeypatch):
+        from repro.cli import main as cli_main
+
+        captured = {}
+
+        def stub(scale="smoke", workers=None, **kw):
+            captured.update(kw)
+            return robustness.RobustnessResult(title="stub")
+
+        monkeypatch.setattr(robustness, "run", stub)
+        assert cli_main(
+            ["experiment", "robustness", "--checkpoint", "--resume"]
+        ) == 0
+        assert captured["checkpoint"] == "auto"
+        assert captured["resume"] is True
+        assert "stub" in capsys.readouterr().out
+
+    def test_checkpoint_rejected_for_figures(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["experiment", "fig4", "--checkpoint"]) == 2
+        assert "not supported" in capsys.readouterr().err
+
+    def test_resume_requires_checkpoint_flag(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["experiment", "robustness", "--resume"]) == 2
+        assert "requires --checkpoint" in capsys.readouterr().err
+
+    def test_profile_reports_supervision_counters(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        graph = str(tmp_path / "g.json")
+        assert cli_main(["generate", "--kind", "sp", "--n", "12",
+                         "--seed", "1", "-o", graph]) == 0
+        assert cli_main(["profile", graph]) == 0
+        out = capsys.readouterr().out
+        for counter in ("parallel.retries", "parallel.timeouts",
+                        "parallel.pool_rebuilds"):
+            assert counter in out
