@@ -1,6 +1,6 @@
 """Record evaluation-core micro-bench medians into committed baselines.
 
-Two suites, selected with ``--suite``:
+Three suites, selected with ``--suite``:
 
 - ``eval`` (default, ``BENCH_eval.json``) — the PR-3 evaluation-core
   benches: cost-model/suite evaluation and the greedy decomposition
@@ -16,6 +16,14 @@ Two suites, selected with ``--suite``:
   reproducible; it is still ``--force``-guarded so the committed
   pre-PR numbers are not silently overwritten by a faster/slower
   machine.
+- ``topo`` (``BENCH_topo.json``) — the PR-10 topology benches, pinning
+  the link-graph layer's zero-inner-loop-cost contract: table build on
+  a uniform vs a star (routed) platform captures where routing *is*
+  paid (BFS routes + effective matrices at construction), the
+  ``eval_*`` pair shows the routed evaluator's inner loop costs the
+  same as the uniform one (~1.0 ratio — routing is table-build-time
+  only), and the ``engine_*`` trio measures runtime-engine replay with
+  no pools, per-link pools, and the analytic model.
 
 Each suite's file carries two sections:
 
@@ -68,6 +76,7 @@ import numpy as np
 _ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = _ROOT / "BENCH_eval.json"
 BENCH_META_FILE = _ROOT / "BENCH_meta.json"
+BENCH_TOPO_FILE = _ROOT / "BENCH_topo.json"
 
 #: (key, graph size, repeats) for every mapper measured at both sizes.
 MAPPER_SPECS = [
@@ -93,6 +102,27 @@ META_SPECS = {
     "annealing_n50": (50, 5),
     # reduced budget for the CI perf gate: 30 generations x 50 individuals
     "nsgaii_smoke": (50, 5),
+}
+
+#: topo suite: key -> repeats.  Every key shares one seeded 50-task
+#: bench graph on the 4-device paper platform; ``uniform`` keys run the
+#: flat all-pairs interconnect, ``star``/``mesh`` the routed link-graph
+#: presets.  ``table_build_*`` times platform reshaping (BFS routing +
+#: effective matrices) *plus* cost-table construction — the only place
+#: routing is allowed to cost anything; the ``eval_*`` pair times one
+#: analytic simulate on prebuilt tables and must stay ~1.0x across
+#: platforms (the zero-inner-loop-cost contract, mirrored by lint rule
+#: KER002); ``engine_*`` replays a short job stream without pools, with
+#: a routed star, and with per-link slots=1 queueing.
+TOPO_SPECS = {
+    "table_build_uniform_n50": 20,
+    "table_build_star_n50": 20,
+    "table_build_mesh_n50": 20,
+    "eval_uniform_n50": 200,
+    "eval_star_n50": 200,
+    "engine_uniform_n50": 10,
+    "engine_star_n50": 10,
+    "engine_star_slots1_n50": 10,
 }
 
 
@@ -184,6 +214,46 @@ def measure_meta(key: str, *, scalar: bool = False) -> float:
     return _median_time(run, repeats)
 
 
+def measure_topo(key: str) -> float:
+    """Median wall-clock seconds for one topology-layer bench."""
+    from repro.evaluation import CostModel
+    from repro.graphs.generators import random_sp_graph
+    from repro.platform import paper_platform, with_topology
+    from repro.runtime import RuntimeEngine, periodic_stream
+
+    repeats = TOPO_SPECS[key]
+    g = random_sp_graph(50, np.random.default_rng(1234))
+    base = paper_platform()
+
+    def platform_for(name: str, *, slots=None):
+        if name == "uniform":
+            return base
+        return with_topology(base, name, slots=slots)
+
+    if key.startswith("table_build_"):
+        topo = key[len("table_build_"):].rsplit("_", 1)[0]
+        return _median_time(lambda: CostModel(g, platform_for(topo)), repeats)
+    if key.startswith("eval_"):
+        topo = key[len("eval_"):].rsplit("_", 1)[0]
+        model = CostModel(g, platform_for(topo))
+        rng = np.random.default_rng(7)
+        mapping = [int(d) for d in rng.integers(0, base.n_devices, g.n_tasks)]
+        return _median_time(lambda: model.simulate(mapping), repeats)
+    if key.startswith("engine_"):
+        if key == "engine_uniform_n50":
+            platform = base
+        elif key == "engine_star_n50":
+            platform = platform_for("star")
+        else:  # engine_star_slots1_n50
+            platform = platform_for("star", slots=1)
+        rng = np.random.default_rng(7)
+        mapping = [int(d) for d in rng.integers(0, base.n_devices, g.n_tasks)]
+        analytic = CostModel(g, platform).simulate(mapping)
+        jobs = periodic_stream(g, mapping, 4, period=0.5 * analytic)
+        return _median_time(lambda: RuntimeEngine(platform).run(jobs), repeats)
+    raise KeyError(f"unknown topo bench key {key!r}")
+
+
 def _env_stamp() -> dict:
     """Machine/toolchain metadata recorded next to the medians.
 
@@ -203,7 +273,7 @@ def _env_stamp() -> dict:
     return {k: env[k] for k in keep if k in env}
 
 
-def check_overhead(key: str, *, meta: bool, max_overhead: float,
+def check_overhead(key: str, *, measure_fn, max_overhead: float,
                    rounds: int = 3) -> int:
     """Gate the instrumentation overhead of one bench key.
 
@@ -215,7 +285,7 @@ def check_overhead(key: str, *, meta: bool, max_overhead: float,
     """
     from repro import obs
 
-    meas = (lambda: measure_meta(key)) if meta else (lambda: measure(key))
+    meas = lambda: measure_fn(key)
     off_times, on_times = [], []
     for _ in range(rounds):
         off_times.append(meas())
@@ -237,12 +307,18 @@ def check_overhead(key: str, *, meta: bool, max_overhead: float,
     return 0
 
 
-SUITES = {"eval": BENCH_FILE, "meta": BENCH_META_FILE}
+SUITES = {"eval": BENCH_FILE, "meta": BENCH_META_FILE, "topo": BENCH_TOPO_FILE}
+
+#: suite name -> the measure function taking one bench key.
+_MEASURERS = {"eval": measure, "meta": measure_meta, "topo": measure_topo}
 
 
 def all_keys(suite: str):
     if suite == "meta":
         yield from META_SPECS
+        return
+    if suite == "topo":
+        yield from TOPO_SPECS
         return
     yield "cost_model_eval_n50"
     yield "suite_eval_n50"
@@ -262,7 +338,8 @@ def main(argv=None) -> int:
         "--suite",
         default="eval",
         choices=sorted(SUITES),
-        help="bench suite: 'eval' (BENCH_eval.json) or 'meta' (BENCH_meta.json)",
+        help="bench suite: 'eval' (BENCH_eval.json), 'meta'"
+        " (BENCH_meta.json) or 'topo' (BENCH_topo.json)",
     )
     parser.add_argument(
         "--section",
@@ -303,10 +380,12 @@ def main(argv=None) -> int:
 
     bench_file = SUITES[args.suite]
     meta = args.suite == "meta"
+    measure_fn = _MEASURERS[args.suite]
 
     if args.overhead:
         return check_overhead(
-            args.overhead, meta=meta, max_overhead=args.max_overhead
+            args.overhead, measure_fn=measure_fn,
+            max_overhead=args.max_overhead,
         )
 
     if args.check:
@@ -315,9 +394,7 @@ def main(argv=None) -> int:
         if committed is None:
             print(f"no committed 'current' median for {args.check!r}", file=sys.stderr)
             return 2
-        measured = (
-            measure_meta(args.check) if meta else measure(args.check)
-        )
+        measured = measure_fn(args.check)
         ratio = measured / committed
         print(
             f"{args.check}: measured {measured * 1e3:.2f} ms vs committed "
@@ -339,6 +416,12 @@ def main(argv=None) -> int:
                 "it records the committed pre-PR scalar-path medians"
                 " (re-measurable, but frozen as the speedup reference)"
             )
+        elif args.suite == "topo":
+            reason = (
+                "it records the medians from the machine the topology"
+                " layer landed on (the uniform_* keys double as the"
+                " in-file reference)"
+            )
         else:
             reason = (
                 "it was recorded on the original nested-list implementation"
@@ -354,7 +437,7 @@ def main(argv=None) -> int:
     measures = {}
     for key in all_keys(args.suite):
         measures[key] = (
-            measure_meta(key, scalar=scalar) if meta else measure(key)
+            measure_meta(key, scalar=True) if scalar else measure_fn(key)
         )
         print(f"{key:>24s}: {measures[key] * 1e3:9.3f} ms")
     data[args.section] = {

@@ -12,7 +12,14 @@ Public API tour
   almost-SP, scientific-workflow families);
 - :mod:`repro.sp` — series-parallel decomposition trees, recognition, and
   the paper's Algorithm 1 (decomposition forests for arbitrary DAGs);
-- :mod:`repro.platform` — CPU/GPU/FPGA platform model;
+- :mod:`repro.platform` — CPU/GPU/FPGA platform model, with an optional
+  explicit interconnect topology: a link graph of per-device-pair
+  links (bandwidth/latency/slots) with deterministic shortest-hop
+  routing, star/mesh/ring/NUMA-pair presets
+  (:func:`~repro.platform.with_topology`) and a JSON ``"links"``
+  schema; routing is resolved at table-build time into *effective*
+  cost matrices so every evaluator prices topology at zero inner-loop
+  cost (contract: ``src/repro/platform/README.md``);
 - :mod:`repro.evaluation` — the linear-time model-based makespan evaluator
   on a flat-array kernel (compiled C when a system compiler is present,
   pure Python otherwise — bit-identical either way), plus the incremental
@@ -26,9 +33,12 @@ Public API tour
   failures, and multi-workflow arrival streams (``repro simulate`` on the
   command line); with zero noise, unlimited link slots and a single job it
   reproduces the analytic evaluator exactly; concurrent jobs share the
-  platform for real — a cross-job FPGA area ledger, FIFO transfer slots on
-  the host↔device interconnect (``link_slots``), and per-trace energy
-  accounting including rolled-back work; on failure (or a past-threshold
+  platform for real — a cross-job FPGA area ledger, FIFO transfer slot
+  pools on the interconnect (one shared ``link_slots`` pool on flat
+  platforms, one pool per finite-width link on topology-aware ones,
+  with transfers claiming every link along their route and
+  ``LinkWait`` naming the blocking link; ``link_slots=0`` = unlimited),
+  and per-trace energy accounting including rolled-back work; on failure (or a past-threshold
   slowdown, or an arrival under fabric pressure) it rescues work with a
   fixed fallback or by re-running a mapper on the surviving/degraded
   platform (:mod:`repro.runtime.replan`, ``--replan-policy``);
@@ -62,7 +72,8 @@ Public API tour
   write-only observability, single-sourced tolerances, picklable
   ``parallel_map`` payloads, no silent excepts, bounded retry loops
   with no sleeping in algorithm modules, and that the C kernel's
-  constants match their Python mirrors (rule catalogue in
+  constants match their Python mirrors and stay topology-agnostic
+  (rule catalogue in
   ``src/repro/analysis/README.md``); ``REPRO_CKERNEL_SANITIZE=asan,ubsan``
   additionally rebuilds the C kernel under AddressSanitizer/UBSan —
   still bit-identical — for memory/UB checking in CI.
@@ -83,7 +94,7 @@ True
 
 from . import evaluation, graphs, mappers, obs, parallel, platform, runtime, sp
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "evaluation", "graphs", "mappers", "obs", "parallel", "platform",

@@ -10,6 +10,7 @@ forever (suppressions and baselines reference them).
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterable, List, Sequence
 
 from .core import Finding, ModuleContext, Rule
@@ -381,3 +382,50 @@ class CKernelMirrorRule(Rule):
 
         for line, message in source_consistency_problems():
             yield self.finding(target, None, message, line=line)
+
+
+@register
+class CKernelTopologyAgnosticRule(Rule):
+    code = "KER002"
+    title = "C kernel stays topology-agnostic (routing is table-build-time)"
+    contract = (
+        "Interconnect topology is priced entirely at table-build time: "
+        "the platform's effective (routed) matrices feed the CSR "
+        "pred_trans tables, so the C inner loop needs no notion of "
+        "links, routes or hops — that is the zero-inner-loop-cost "
+        "design of the link-graph layer (repro.platform.links).  A "
+        "routing identifier appearing in the embedded C source means "
+        "someone is moving routing into the hot loop; that needs new "
+        "mirrored constants and a conscious KER001 extension, not a "
+        "silent drive-by."
+    )
+
+    # underscore counts as a boundary so snake_case identifiers like
+    # ``hop_count`` or ``n_links`` trip the rule, not just bare words
+    _FORBIDDEN = re.compile(
+        r"(?<![A-Za-z0-9])(links?|routes?|routing|topolog[a-z]*|hops?)"
+        r"(?![A-Za-z0-9])",
+        re.IGNORECASE,
+    )
+
+    def check_project(
+        self, contexts: Sequence[ModuleContext]
+    ) -> Iterable[Finding]:
+        target = next(
+            (c for c in contexts if c.pkg_rel == "evaluation/_ckernel.py"),
+            None,
+        )
+        if target is None:
+            return  # the kernel module is not part of this lint run
+        from ..evaluation._ckernel import _C_SOURCE
+
+        for off, line in enumerate(_C_SOURCE.splitlines()):
+            hit = self._FORBIDDEN.search(line)
+            if hit:
+                yield self.finding(
+                    target, None,
+                    f"C kernel source mentions {hit.group(0)!r}: routing "
+                    "belongs in the table build (platform effective "
+                    "matrices), not the inner loop",
+                    line=off + 1,
+                )

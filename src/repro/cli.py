@@ -200,8 +200,12 @@ def cmd_decompose(args) -> int:
 
 
 def cmd_map(args) -> int:
-    g = load_graph(args.graph)
-    evaluator = _evaluator(g, args)
+    try:
+        g = load_graph(args.graph)
+        evaluator = _evaluator(g, args)
+    except (OSError, ValueError, KeyError) as exc:
+        R.error(f"cannot load inputs: {exc}")
+        return 2
     mapper = MAPPER_FACTORIES[args.algorithm]()
     result = mapper.map(evaluator, rng=np.random.default_rng(args.seed))
     improvement = evaluator.relative_improvement(result.mapping)
@@ -561,6 +565,9 @@ def cmd_experiment(args) -> int:
     # every driver takes a progress callback; at the default level it is
     # dropped by the reporter, with --verbose it streams per-point lines
     kw = dict(scale=args.scale, workers=workers, progress=R.detail)
+    if getattr(args, "topology", None) is not None and args.name != "contention":
+        R.error("--topology is only supported for the contention experiment")
+        return 2
     if args.checkpoint or args.resume:
         if args.name not in ("table1", "robustness", "replan", "contention"):
             R.error(
@@ -579,7 +586,21 @@ def cmd_experiment(args) -> int:
     elif args.name == "replan":
         robustness.print_report(robustness.run_replan(**kw))
     elif args.name == "contention":
-        contention.print_report(contention.run(**kw))
+        if getattr(args, "topology", None) is not None:
+            try:
+                result = contention.run_topologies(
+                    topologies=args.topology or None, **kw
+                )
+            except ValueError as exc:
+                R.error(str(exc))
+                return 2
+            R.out(contention.format_topology_table(result))
+            R.out(
+                "csv written to "
+                + contention.write_topology_csv(result)
+            )
+        else:
+            contention.print_report(contention.run(**kw))
     else:
         print_sweep(drivers[args.name](**kw))
     return 0
@@ -870,6 +891,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --checkpoint: reuse journalled cells from an "
                         "interrupted run, recomputing only the rest "
                         "(byte-identical output)")
+    p.add_argument("--topology", nargs="*", metavar="NAME", default=None,
+                   help="contention only: sweep interconnect shapes instead "
+                        "of the link-slot axis and write "
+                        "results/topology_sweep.csv; bare --topology uses "
+                        "the scale's defaults, or name any of: shared, "
+                        "mesh, numa, ring, star")
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser(

@@ -159,6 +159,10 @@ class CostModel:
         # --- predecessor structure (flattened) -------------------------
         # _pred[i] = list of (pred_index, transfer_row) where transfer_row
         # is an m*m nested list: transfer_row[du][dv] = transfer seconds.
+        # On a topology-aware platform these matrices are already the
+        # *routed effective* costs (multi-hop latencies summed,
+        # bandwidths composed), so interconnect topology is priced here,
+        # at table-build time, and nowhere in the simulation inner loop.
         self._pred: List[List[Tuple[int, List[List[float]]]]] = []
         lat = platform.latency_s
         bw = platform.bandwidth_gbps

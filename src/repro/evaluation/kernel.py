@@ -7,7 +7,10 @@ numpy arrays:
 - ``pred_ptr``/``pred_src`` — CSR predecessor structure: the predecessors
   of task ``i`` are ``pred_src[pred_ptr[i]:pred_ptr[i + 1]]``;
 - ``pred_trans`` — one flattened ``m * m`` transfer table per edge
-  (``pred_trans[e, du * m + dv]`` = seconds from device ``du`` to ``dv``);
+  (``pred_trans[e, du * m + dv]`` = seconds from device ``du`` to ``dv``;
+  on a topology-aware platform these are the *routed effective* costs,
+  so the kernel never sees links, routes or hops — lint rule KER002
+  pins that);
 - ``exec``/``fill``/``initial``/``final`` — ``(n, m)`` contiguous
   ``float64`` tables (execution, pipeline fill, host→device input,
   device→host result).

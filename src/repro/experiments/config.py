@@ -107,6 +107,13 @@ class ScaleConfig:
     #: area budget is ``headroom x usage(mapping)`` (when the mapping uses
     #: the FPGA at all), so overlapping jobs genuinely contend for fabric
     contention_area_headroom: float = 1.5
+    #: interconnect shapes swept by ``--topology`` (and ``run_topologies``):
+    #: ``"shared"`` is the legacy single-pool model, the rest are
+    #: :data:`repro.platform.topologies.TOPOLOGY_NAMES` presets with the
+    #: swept slot width applied per link
+    contention_topologies: List[str] = field(
+        default_factory=lambda: ["shared", "star", "mesh"]
+    )
 
 
 SCALES: Dict[str, ScaleConfig] = {
@@ -188,6 +195,7 @@ SCALES: Dict[str, ScaleConfig] = {
         contention_jobs=20,
         contention_link_slots=[0, 4, 2, 1],
         contention_period_fracs=[1.0, 0.5, 0.25, 0.125],
+        contention_topologies=["shared", "star", "mesh", "ring", "numa"],
     ),
 }
 

@@ -22,8 +22,20 @@ area check of PR 1/2 silently allowed and the ledger now arbitrates.
 Runs are deterministic (zero noise), so every cell is one exact engine
 replay and ``--workers N`` results are trivially bit-identical to serial.
 
+The **topology axis** (``--topology``, :func:`run_topologies`) replays
+the same streams over different interconnect *shapes*: the legacy
+single shared pool (``"shared"``) versus per-link slot pools on the
+:mod:`repro.platform.topologies` presets (star/mesh/ring/NUMA), with
+the swept slot width applied per link.  Mappings are computed once per
+graph on the nominal platform and shared across every topology cell, so
+divergence between e.g. ``mesh`` and ``shared`` at the same slot count
+is purely the resource model: routed transfers queue per link instead
+of against one global pool.  Results land in
+``results/topology_sweep.csv``.
+
 Run:  python -m repro.experiments.contention --scale smoke --csv
       repro experiment contention --scale smoke
+      repro experiment contention --scale smoke --topology mesh
 """
 
 from __future__ import annotations
@@ -49,6 +61,7 @@ from ..parallel import (
 )
 from ..platform import paper_platform
 from ..platform.platform import Platform
+from ..platform.topologies import TOPOLOGY_NAMES, with_topology
 from ..runtime import RuntimeEngine, periodic_stream, throughput_report
 from .config import get_scale
 from .reporting import maybe_close, open_checkpoint, results_dir
@@ -56,11 +69,19 @@ from .reporting import maybe_close, open_checkpoint, results_dir
 __all__ = [
     "ContentionPoint",
     "ContentionResult",
+    "TopologyPoint",
+    "TopologyResult",
     "run",
+    "run_topologies",
     "format_contention_table",
+    "format_topology_table",
     "print_report",
     "write_contention_csv",
+    "write_topology_csv",
 ]
+
+#: names accepted by ``--topology``: the legacy shared pool + presets
+SWEEP_TOPOLOGIES = ("shared",) + TOPOLOGY_NAMES
 
 
 @dataclass(frozen=True)
@@ -103,6 +124,37 @@ class ContentionResult:
             ):
                 return p
         raise KeyError((algorithm, link_slots, period_frac))
+
+
+@dataclass(frozen=True)
+class TopologyPoint:
+    """One (topology, algorithm, link_slots, period_frac) cell."""
+
+    topology: str              # "shared" or a preset topology name
+    algorithm: str
+    link_slots: int            # slot width (per link for presets); 0 = inf
+    period_frac: float
+    jobs_per_second: float
+    latency_mean_s: float
+    latency_p95_s: float
+    link_wait_s: float         # summed slot-queue time per stream
+    n_link_waits: float        # mean queued-transfer count per stream
+    energy_per_job_j: float
+    makespan_s: float
+
+
+@dataclass
+class TopologyResult:
+    """A topology sweep: interconnect shapes x link slots x arrival rates."""
+
+    title: str
+    points: List[TopologyPoint] = field(default_factory=list)
+
+    def topologies(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(p.topology)
+        return list(seen)
 
 
 def _roster():
@@ -164,6 +216,36 @@ def _contention_cell_worker(item):
     return (
         rep.jobs_per_second, rep.latency_mean, rep.latency_p95,
         trace.area_wait_time, trace.link_wait_time,
+        rep.energy_per_job_j, rep.horizon,
+    )
+
+
+def _topology_cell_worker(item):
+    """Replay one stream on a (possibly topology-reshaped) platform.
+
+    ``topology == "shared"`` bounds the legacy single pool via the
+    engine's ``link_slots``; a preset name reshapes the platform with
+    ``slots`` per link and leaves the engine at its default (per-link
+    pools).  ``slots == 0`` is unlimited either way; since ``mesh``
+    routes are all direct, its ``slots=0`` cells are bit-identical to
+    ``shared`` ``slots=0`` — the sweep's built-in equivalence anchor
+    (multi-hop shapes like ``star`` still differ there, through routed
+    cost alone).
+    """
+    graph, base_platform, topology, mapping, analytic, n_jobs, frac, slots \
+        = item
+    jobs = periodic_stream(graph, mapping, n_jobs, period=frac * analytic)
+    if topology == "shared":
+        engine = RuntimeEngine(base_platform, link_slots=slots)
+    else:
+        engine = RuntimeEngine(
+            with_topology(base_platform, topology, slots=slots)
+        )
+    trace = engine.run(jobs)
+    rep = throughput_report(trace)
+    return (
+        rep.jobs_per_second, rep.latency_mean, rep.latency_p95,
+        trace.link_wait_time, trace.n_link_waits,
         rep.energy_per_job_j, rep.horizon,
     )
 
@@ -270,6 +352,116 @@ def run(
     return result
 
 
+def run_topologies(
+    scale="smoke",
+    *,
+    topologies: Optional[List[str]] = None,
+    seed: int = 79,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    checkpoint=None,
+    resume: bool = False,
+) -> TopologyResult:
+    """Sweep interconnect shapes under the shared-resource stream model.
+
+    Mappings are computed once per graph on the *nominal* (uniform)
+    platform and replayed on every topology, so a cell difference is
+    purely the interconnect model: routed effective costs plus per-link
+    slot pools versus the legacy shared pool.  ``topologies`` defaults
+    to the scale's ``contention_topologies``; arrival periods reuse the
+    nominal analytic makespan so the workload is identical everywhere.
+    Deterministic (zero noise): serial and ``--workers N`` runs are
+    bit-identical.
+    """
+    cfg = get_scale(scale)
+    if topologies is None:
+        topologies = list(cfg.contention_topologies)
+    for name in topologies:
+        if name not in SWEEP_TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {name!r} "
+                f"(choose from {', '.join(SWEEP_TOPOLOGIES)})"
+            )
+    workers = resolve_workers(workers, cfg.parallel_workers)
+    platform = paper_platform()
+    root = np.random.SeedSequence(seed)
+    graph_seed, map_seed = root.spawn(2)
+
+    graphs = [
+        random_sp_graph(cfg.contention_n_tasks, np.random.default_rng(s))
+        for s in graph_seed.spawn(cfg.contention_graphs)
+    ]
+    map_items = [
+        (g, platform, cfg, child)
+        for g, child in zip(graphs, map_seed.spawn(len(graphs)))
+    ]
+    journal = open_checkpoint("topology", cfg.name, seed, checkpoint, resume)
+    with SupervisedPool(workers, chaos=plan_from_env()) as executor, \
+            maybe_close(journal):
+        mapped = parallel_map(
+            _map_graph_worker, map_items, workers=workers,
+            progress=progress, label="mapped graph", executor=executor,
+            journal=journal,
+        )
+        algorithms = list(mapped[0][0])
+        run_platforms = {
+            (algorithm, k): _squeeze_fpga(
+                platform, mapped[k][2][algorithm],
+                cfg.contention_area_headroom,
+            )
+            for algorithm in algorithms
+            for k in range(len(graphs))
+        }
+
+        items = []
+        for topology in topologies:
+            for slots in cfg.contention_link_slots:
+                for frac in cfg.contention_period_fracs:
+                    for algorithm in algorithms:
+                        for k, graph in enumerate(graphs):
+                            mappings, analytics, _ = mapped[k]
+                            items.append((
+                                graph, run_platforms[algorithm, k],
+                                topology, mappings[algorithm],
+                                analytics[algorithm], cfg.contention_jobs,
+                                frac, slots,
+                            ))
+        cells = parallel_map(
+            _topology_cell_worker, items, workers=workers,
+            progress=progress, label="topology cell", executor=executor,
+            journal=journal,
+        )
+
+    result = TopologyResult(
+        title=(
+            f"Interconnect topologies: {cfg.contention_jobs}-job streams, "
+            f"{'/'.join(topologies)} ({cfg.name})"
+        )
+    )
+    it = iter(cells)
+    for topology in topologies:
+        for slots in cfg.contention_link_slots:
+            for frac in cfg.contention_period_fracs:
+                for algorithm in algorithms:
+                    rows = [next(it) for _ in graphs]
+                    result.points.append(TopologyPoint(
+                        topology=topology,
+                        algorithm=algorithm,
+                        link_slots=slots,
+                        period_frac=frac,
+                        jobs_per_second=float(np.mean([r[0] for r in rows])),
+                        latency_mean_s=float(np.mean([r[1] for r in rows])),
+                        latency_p95_s=float(np.mean([r[2] for r in rows])),
+                        link_wait_s=float(np.mean([r[3] for r in rows])),
+                        n_link_waits=float(np.mean([r[4] for r in rows])),
+                        energy_per_job_j=float(np.mean([r[5] for r in rows])),
+                        makespan_s=float(np.mean([r[6] for r in rows])),
+                    ))
+        if progress:
+            progress(f"topology={topology} done")
+    return result
+
+
 # ---------------------------------------------------------------------------
 # reporting
 # ---------------------------------------------------------------------------
@@ -296,6 +488,33 @@ def format_contention_table(result: ContentionResult) -> str:
                 f"{p.latency_p95_s * 1e3:>7.1f}ms | "
                 f"{p.area_wait_s * 1e3:>7.1f}ms | "
                 f"{p.link_wait_s * 1e3:>7.1f}ms | "
+                f"{p.energy_per_job_j:>8.1f}"
+            )
+    return "\n".join(lines)
+
+
+def format_topology_table(result: TopologyResult) -> str:
+    """Render the topology sweep as one fixed-width table per topology."""
+    lines = [f"== {result.title} =="]
+    header = (
+        f"{'algorithm':>14s} | {'slots':>5s} | {'period':>6s} | "
+        f"{'jobs/s':>8s} | {'lat p95':>9s} | {'link wait':>9s} | "
+        f"{'queued':>6s} | {'J/job':>8s}"
+    )
+    for topology in result.topologies():
+        lines.append(f"-- {topology} --")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for p in result.points:
+            if p.topology != topology:
+                continue
+            slots = "inf" if p.link_slots == 0 else str(p.link_slots)
+            lines.append(
+                f"{p.algorithm:>14s} | {slots:>5s} | {p.period_frac:>6g} | "
+                f"{p.jobs_per_second:>8.2f} | "
+                f"{p.latency_p95_s * 1e3:>7.1f}ms | "
+                f"{p.link_wait_s * 1e3:>7.1f}ms | "
+                f"{p.n_link_waits:>6.1f} | "
                 f"{p.energy_per_job_j:>8.1f}"
             )
     return "\n".join(lines)
@@ -347,6 +566,49 @@ def write_contention_csv(
     return path
 
 
+def write_topology_csv(
+    result: TopologyResult,
+    path: Optional[str] = None,
+    *,
+    fileobj: Optional[TextIO] = None,
+) -> str:
+    """Write the topology sweep as a long-format CSV; returns the path."""
+    if fileobj is None:
+        if path is None:
+            path = os.path.join(results_dir(), "topology_sweep.csv")
+        handle: TextIO = open(path, "w", newline="")
+        close = True
+    else:
+        handle = fileobj
+        close = False
+        path = path or "<stream>"
+    try:
+        writer = csv.writer(handle)
+        writer.writerow([
+            "topology", "algorithm", "link_slots", "period_frac",
+            "jobs_per_second", "latency_mean_s", "latency_p95_s",
+            "link_wait_s", "n_link_waits", "energy_per_job_j", "makespan_s",
+        ])
+        for p in result.points:
+            writer.writerow([
+                p.topology,
+                p.algorithm,
+                p.link_slots,
+                p.period_frac,
+                f"{p.jobs_per_second:.6f}",
+                f"{p.latency_mean_s:.6f}",
+                f"{p.latency_p95_s:.6f}",
+                f"{p.link_wait_s:.6f}",
+                f"{p.n_link_waits:.6f}",
+                f"{p.energy_per_job_j:.6f}",
+                f"{p.makespan_s:.6f}",
+            ])
+    finally:
+        if close:
+            handle.close()
+    return path
+
+
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(
         description="Shared-resource contention under arrival streams"
@@ -363,6 +625,15 @@ if __name__ == "__main__":
         "--csv", action="store_true", help="also write a CSV into ./results/"
     )
     parser.add_argument(
+        "--topology", nargs="*", metavar="NAME", default=None,
+        choices=list(SWEEP_TOPOLOGIES),
+        help=(
+            "run the interconnect-topology sweep instead of the link-slot "
+            "sweep; bare --topology uses the scale's default shapes, or "
+            f"name any of: {', '.join(SWEEP_TOPOLOGIES)}"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint", nargs="?", const="auto", metavar="PATH",
         help="journal completed cells (default path under results/checkpoints)",
     )
@@ -376,10 +647,21 @@ if __name__ == "__main__":
     progress = (
         None if args.quiet else (lambda msg: reporter.out(f"  [{msg}]"))
     )
-    result = run(
-        scale=args.scale, seed=args.seed, workers=args.workers,
-        progress=progress, checkpoint=args.checkpoint, resume=args.resume,
-    )
-    print_report(result)
-    if args.csv:
-        reporter.out(f"csv written to {write_contention_csv(result)}")
+    if args.topology is not None:
+        topo_result = run_topologies(
+            scale=args.scale, topologies=args.topology or None,
+            seed=args.seed, workers=args.workers,
+            progress=progress, checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+        reporter.out(format_topology_table(topo_result))
+        if args.csv:
+            reporter.out(f"csv written to {write_topology_csv(topo_result)}")
+    else:
+        result = run(
+            scale=args.scale, seed=args.seed, workers=args.workers,
+            progress=progress, checkpoint=args.checkpoint, resume=args.resume,
+        )
+        print_report(result)
+        if args.csv:
+            reporter.out(f"csv written to {write_contention_csv(result)}")

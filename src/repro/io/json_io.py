@@ -23,6 +23,7 @@ import numpy as np
 
 from ..graphs.taskgraph import TaskGraph
 from ..platform.device import Device, DeviceKind
+from ..platform.links import LinkGraph
 from ..platform.platform import Platform
 
 __all__ = [
@@ -123,9 +124,15 @@ def load_graph(path: str) -> TaskGraph:
 # ---------------------------------------------------------------------------
 
 def platform_to_dict(p: Platform) -> Dict:
-    bw = p.bandwidth_gbps.copy()
-    bw[~np.isfinite(bw)] = -1.0  # JSON has no Infinity
-    return {
+    """Serializable dict representation of a platform.
+
+    A topology-aware platform adds a ``"links"`` key (the link graph's
+    :meth:`~repro.platform.links.LinkGraph.to_dict` list) **and omits
+    the matrices**, which are derived from the links on load; a uniform
+    platform emits exactly the legacy document (no ``"links"`` key), so
+    pre-link-graph files round-trip byte-for-byte.
+    """
+    doc = {
         "format": PLATFORM_FORMAT,
         "version": VERSION,
         "devices": [
@@ -145,10 +152,16 @@ def platform_to_dict(p: Platform) -> Dict:
             }
             for d in p.devices
         ],
-        "bandwidth_gbps": bw.tolist(),
-        "latency_s": p.latency_s.tolist(),
-        "link_slots": p.link_slots,
     }
+    if p.link_graph is not None:
+        doc["links"] = p.link_graph.to_dict()
+    else:
+        bw = p.bandwidth_gbps.copy()
+        bw[~np.isfinite(bw)] = -1.0  # JSON has no Infinity
+        doc["bandwidth_gbps"] = bw.tolist()
+        doc["latency_s"] = p.latency_s.tolist()
+    doc["link_slots"] = p.link_slots
+    return doc
 
 
 def platform_from_dict(doc: Dict) -> Platform:
@@ -171,9 +184,29 @@ def platform_from_dict(doc: Dict) -> Platform:
                 watts_idle=float(d.get("watts_idle", 0.0)),
             )
         )
-    bw = np.array(doc["bandwidth_gbps"], dtype=float)
+    if "links" in doc:
+        if "bandwidth_gbps" in doc or "latency_s" in doc:
+            raise FormatError(
+                "platform document has both 'links' and interconnect "
+                "matrices; a topology-aware platform derives its matrices "
+                "from the links"
+            )
+        try:
+            graph = LinkGraph.from_dict(len(devices), doc["links"])
+        except ValueError as exc:
+            raise FormatError(f"bad 'links' entry: {exc}") from None
+        return Platform(
+            devices, link_slots=doc.get("link_slots"), link_graph=graph
+        )
+    try:
+        bw = np.array(doc["bandwidth_gbps"], dtype=float)
+        lat = np.array(doc["latency_s"], dtype=float)
+    except KeyError as exc:
+        raise FormatError(
+            f"platform document missing {exc.args[0]!r} "
+            "(need matrices or a 'links' list)"
+        ) from None
     bw[bw < 0] = np.inf
-    lat = np.array(doc["latency_s"], dtype=float)
     return Platform(devices, bw, lat, link_slots=doc.get("link_slots"))
 
 

@@ -33,7 +33,11 @@ TIME_SCALE = 1e3
 
 #: Event kinds exported as instant markers, and the lane they land on:
 #: ``"device"`` pins the marker to the event's device lane, ``"jobs"``
-#: to the per-job overview lane.
+#: to the per-job overview lane.  ``link-wait`` records that name a
+#: specific link (``link >= 0``, topology-aware platforms) get their own
+#: per-link lane after the device lanes instead, so routed contention
+#: shows *which* channel queued; legacy shared-pool waits (``link ==
+#: -1``) stay on the jobs lane, and runs without waits add no lanes.
 _INSTANT_KINDS = {
     "area-wait": "device",
     "link-wait": "jobs",
@@ -58,9 +62,10 @@ def runtime_trace_to_chrome_events(
     Lanes: tid 0 is a per-job overview row (one block per job from
     arrival to completion); tid ``1 + d`` is device ``d``, carrying one
     block per task execution and instant markers for waits, kills,
-    remaps, slowdowns and failures.  Feed the result to
-    :func:`repro.obs.trace.to_chrome` via ``extra_events`` or wrap it in
-    ``{"traceEvents": [...]}`` directly.
+    remaps, slowdowns and failures; tid ``1 + n_devices + l`` is link
+    ``l``, created only when some ``link-wait`` record names it.  Feed
+    the result to :func:`repro.obs.trace.to_chrome` via ``extra_events``
+    or wrap it in ``{"traceEvents": [...]}`` directly.
     """
     n_devices = len(trace.device_busy)
     events: List[dict] = [
@@ -91,6 +96,26 @@ def runtime_trace_to_chrome_events(
             "pid": pid,
             "tid": 1 + d,
             "args": {"name": label},
+        })
+    # per-link lanes, only for links that actually queued a transfer
+    # (healthy no-wait runs keep exactly the legacy lane set)
+    waited_links = sorted({
+        record.link
+        for record in trace.events
+        if record.kind == "link-wait" and getattr(record, "link", -1) >= 0
+    })
+    for link in waited_links:
+        label = (
+            platform.link_label(link)
+            if platform is not None
+            else f"link {link}"
+        )
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 1 + n_devices + link,
+            "args": {"name": f"link {label}"},
         })
 
     for job in trace.jobs:
@@ -145,6 +170,10 @@ def runtime_trace_to_chrome_events(
             if lane_rule == "device" and device is not None
             else 0
         )
+        if kind == "link-wait":
+            link = getattr(record, "link", -1)
+            if link >= 0:
+                tid = 1 + n_devices + link
         args = {
             k: v
             for k, v in vars(record).items()

@@ -1,6 +1,7 @@
 """Heterogeneous platform model: devices, interconnect, execution times."""
 
 from .device import Device, DeviceKind, amdahl_speedup, cpu, fpga, gpu
+from .links import Link, LinkGraph
 from .platform import Platform
 from .presets import (
     cpu_gpu_platform,
@@ -9,6 +10,15 @@ from .presets import (
     paper_platform,
 )
 from .taskmodel import OPS_PER_MB, exec_time_table, execution_time, work_gops
+from .topologies import (
+    TOPOLOGY_NAMES,
+    make_topology,
+    mesh,
+    numa_pairs,
+    ring,
+    star,
+    with_topology,
+)
 
 __all__ = [
     "Device",
@@ -17,6 +27,8 @@ __all__ = [
     "cpu",
     "fpga",
     "gpu",
+    "Link",
+    "LinkGraph",
     "Platform",
     "cpu_gpu_platform",
     "cpu_only_platform",
@@ -26,4 +38,11 @@ __all__ = [
     "exec_time_table",
     "execution_time",
     "work_gops",
+    "TOPOLOGY_NAMES",
+    "make_topology",
+    "mesh",
+    "numa_pairs",
+    "ring",
+    "star",
+    "with_topology",
 ]

@@ -1,0 +1,332 @@
+"""Explicit interconnect topology: per-device-pair links and hop routing.
+
+The paper's cost model (and this repo's seed state) charges every
+cross-device transfer against one uniform host-mediated interconnect —
+a single bandwidth/latency matrix plus, since PR 5, one shared FIFO
+slot pool.  Real heterogeneous platforms are NoC/NUMA-shaped: a
+transfer between two devices traverses *specific links*, pays a
+hop-dependent cost, and contends with other transfers **per link**, not
+against one global pool (Benhaoua et al., "Heuristics for Routing and
+Spiral Run-time Task Mapping in NoC-based Heterogeneous MPSOCs").
+
+:class:`LinkGraph` makes that structure first-class:
+
+- a :class:`Link` is an undirected channel between two device indices
+  with its own ``bandwidth_gbps`` / ``latency_s`` and an optional
+  ``slots`` bound on concurrent transfers (``None``/``0`` = unlimited,
+  the repo-wide convention);
+- routes are **shortest-hop paths**, precomputed once per graph with a
+  deterministic breadth-first search (neighbours visited in ascending
+  device index, so equal-hop ties always resolve the same way on every
+  host and every run);
+- per-pair *effective* transfer parameters are resolved at construction
+  time into plain ``(m, m)`` matrices — the exact shape every existing
+  evaluation layer already consumes:
+
+  - ``eff_latency_s[i, j]`` — the sum of link latencies along the route
+    (one hop's worth of signalling latency per link crossed);
+  - ``eff_bandwidth_gbps[i, j]`` — the route's sustained bandwidth,
+    composed harmonically (``1 / sum(1 / bw_l)``): a pipelined
+    (wormhole-style) transfer is throttled by the accumulated
+    serialization of every channel it occupies.  A **single-hop** route
+    keeps its link's bandwidth *verbatim* (no ``1/(1/x)`` float round
+    trip), so a topology whose routes are all direct reproduces a
+    legacy matrix platform bit-for-bit.
+
+A transfer of ``data_mb`` between ``i`` and ``j`` therefore costs
+``eff_latency_s[i, j] + data_mb / 1000 / eff_bandwidth_gbps[i, j]`` —
+literally the legacy matrix formula, evaluated on routed matrices.
+This is the load-bearing design decision: **routing is resolved at
+table-build time**.  :class:`~repro.platform.platform.Platform` exposes
+the effective matrices as its ``bandwidth_gbps`` / ``latency_s``, the
+cost-model tables are built from them unchanged, and the flat/C/batch/
+delta kernels and every mapper price topology with *zero* new
+inner-loop cost.  Only the runtime engine reads the route structure
+itself, to queue transfers on the per-link slot pools.
+
+Preset topologies (star / mesh / ring / NUMA pairs) live in
+:mod:`repro.platform.topologies`; the JSON schema is documented in
+``src/repro/platform/README.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Link", "LinkGraph"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """One undirected interconnect channel between two device indices.
+
+    ``slots`` bounds how many transfers may occupy the link
+    concurrently; ``None`` and ``0`` both mean unlimited (``0`` is
+    normalized to ``None`` — the repo-wide convention shared with
+    ``Platform.link_slots``).  A link with ``slots=None`` still shapes
+    *cost* through routing; it simply never queues.
+    """
+
+    a: int
+    b: int
+    bandwidth_gbps: float
+    latency_s: float = 0.0
+    slots: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        a, b = int(self.a), int(self.b)
+        if a == b:
+            raise ValueError(f"link endpoints must differ, got ({a}, {b})")
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        bw = float(self.bandwidth_gbps)
+        if not bw > 0.0:
+            raise ValueError(f"link ({a}, {b}): bandwidth must be positive")
+        object.__setattr__(self, "bandwidth_gbps", bw)
+        lat = float(self.latency_s)
+        if lat < 0.0:
+            raise ValueError(f"link ({a}, {b}): latency must be >= 0")
+        object.__setattr__(self, "latency_s", lat)
+        if self.slots is not None:
+            slots = int(self.slots)
+            if slots < 0:
+                raise ValueError(
+                    f"link ({a}, {b}): slots must be >= 0 (0/None = unlimited)"
+                )
+            object.__setattr__(self, "slots", slots if slots else None)
+
+    @property
+    def pair(self) -> Tuple[int, int]:
+        """Endpoint pair in canonical (low, high) order."""
+        return (self.a, self.b) if self.a < self.b else (self.b, self.a)
+
+
+class LinkGraph:
+    """An undirected link topology over ``n_devices`` device indices.
+
+    The graph must be connected (every device must be able to reach
+    every other, or transfers between them would be impossible) and may
+    hold at most one link per device pair.  Construction precomputes:
+
+    - ``routes[i][j]`` — the tuple of **link indices** (into
+      :attr:`links`) a transfer from ``i`` to ``j`` traverses, in hop
+      order; empty for ``i == j``.  Routes are shortest-hop, with
+      deterministic ascending-index BFS tie-breaking, and symmetric
+      (``routes[j][i]`` is the reverse traversal of the same links).
+    - ``eff_latency_s`` / ``eff_bandwidth_gbps`` — dense ``(m, m)``
+      effective transfer matrices (see the module docstring for the
+      composition rules; diagonal is ``0`` / ``inf``).
+
+    Instances are immutable after construction and pickle cleanly
+    (plain arrays and tuples — platforms cross process boundaries in
+    ``repro.parallel`` workers).
+    """
+
+    __slots__ = (
+        "n_devices",
+        "links",
+        "routes",
+        "eff_latency_s",
+        "eff_bandwidth_gbps",
+        "_hops",
+    )
+
+    def __init__(self, n_devices: int, links: Sequence[Link]) -> None:
+        m = int(n_devices)
+        if m < 1:
+            raise ValueError("link graph needs at least one device")
+        links = tuple(
+            l if isinstance(l, Link) else Link(*l) for l in links
+        )
+        seen: Dict[Tuple[int, int], int] = {}
+        adjacency: List[List[Tuple[int, int]]] = [[] for _ in range(m)]
+        for idx, link in enumerate(links):
+            if not (0 <= link.a < m and 0 <= link.b < m):
+                raise ValueError(
+                    f"link ({link.a}, {link.b}) references a device outside "
+                    f"0..{m - 1}"
+                )
+            if link.pair in seen:
+                raise ValueError(
+                    f"duplicate link between devices {link.pair[0]} and "
+                    f"{link.pair[1]}"
+                )
+            seen[link.pair] = idx
+            adjacency[link.a].append((link.b, idx))
+            adjacency[link.b].append((link.a, idx))
+        if m > 1 and not links:
+            raise ValueError("a multi-device link graph needs links")
+        # deterministic BFS: neighbours in ascending device index
+        for nbrs in adjacency:
+            nbrs.sort()
+
+        self.n_devices = m
+        self.links = links
+
+        routes: List[List[Tuple[int, ...]]] = [
+            [() for _ in range(m)] for _ in range(m)
+        ]
+        hops = np.zeros((m, m), dtype=np.int64)
+        for src in range(m):
+            parent_link = [-1] * m
+            parent_dev = [-1] * m
+            dist = [-1] * m
+            dist[src] = 0
+            frontier = [src]
+            while frontier:
+                nxt: List[int] = []
+                for u in frontier:
+                    for v, li in adjacency[u]:
+                        if dist[v] < 0:
+                            dist[v] = dist[u] + 1
+                            parent_link[v] = li
+                            parent_dev[v] = u
+                            nxt.append(v)
+                frontier = nxt
+            for dst in range(m):
+                if dst == src:
+                    continue
+                if dist[dst] < 0:
+                    raise ValueError(
+                        f"link graph is disconnected: no route from device "
+                        f"{src} to device {dst}"
+                    )
+                path: List[int] = []
+                v = dst
+                while v != src:
+                    path.append(parent_link[v])
+                    v = parent_dev[v]
+                path.reverse()
+                routes[src][dst] = tuple(path)
+                hops[src, dst] = len(path)
+        self.routes = tuple(tuple(row) for row in routes)
+        self._hops = hops
+
+        lat = np.zeros((m, m), dtype=np.float64)
+        bw = np.full((m, m), np.inf, dtype=np.float64)
+        for i in range(m):
+            for j in range(m):
+                if i == j:
+                    continue
+                route = self.routes[i][j]
+                if len(route) == 1:
+                    # single hop: the link's parameters verbatim (exact
+                    # legacy-matrix equivalence for direct topologies)
+                    link = links[route[0]]
+                    lat[i, j] = link.latency_s
+                    bw[i, j] = link.bandwidth_gbps
+                else:
+                    total_lat = 0.0
+                    inv_bw = 0.0
+                    for li in route:
+                        link = links[li]
+                        total_lat += link.latency_s
+                        inv_bw += 1.0 / link.bandwidth_gbps
+                    lat[i, j] = total_lat
+                    bw[i, j] = np.inf if inv_bw == 0.0 else 1.0 / inv_bw
+        lat.setflags(write=False)
+        bw.setflags(write=False)
+        self.eff_latency_s = lat
+        self.eff_bandwidth_gbps = bw
+        self._hops.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_links(self) -> int:
+        return len(self.links)
+
+    def route(self, i: int, j: int) -> Tuple[int, ...]:
+        """Link indices a transfer ``i -> j`` traverses (empty if same)."""
+        return self.routes[i][j]
+
+    def hops(self, i: int, j: int) -> int:
+        """Route length in links (0 for ``i == j``)."""
+        return int(self._hops[i, j])
+
+    def link_between(self, a: int, b: int) -> Optional[int]:
+        """Index of the direct link between two devices, if one exists."""
+        pair = (a, b) if a < b else (b, a)
+        for idx, link in enumerate(self.links):
+            if link.pair == pair:
+                return idx
+        return None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> List[Dict]:
+        """Serializable link list (the ``"links"`` entry of a platform
+        JSON document; see ``src/repro/platform/README.md``)."""
+        return [
+            {
+                "a": l.a,
+                "b": l.b,
+                "bandwidth_gbps": l.bandwidth_gbps,
+                "latency_s": l.latency_s,
+                "slots": l.slots,
+            }
+            for l in self.links
+        ]
+
+    @classmethod
+    def from_dict(cls, n_devices: int, specs: Sequence[Dict]) -> "LinkGraph":
+        """Rebuild from :meth:`to_dict` output (raises ``ValueError`` on
+        malformed entries — missing endpoints, bad numbers, duplicates)."""
+        if not isinstance(specs, (list, tuple)):
+            raise ValueError(
+                f"'links' must be a list of link objects, got "
+                f"{type(specs).__name__}"
+            )
+        links = []
+        for k, spec in enumerate(specs):
+            if not isinstance(spec, dict):
+                raise ValueError(
+                    f"links[{k}]: expected an object, got "
+                    f"{type(spec).__name__}"
+                )
+            try:
+                a = spec["a"]
+                b = spec["b"]
+                bw = spec["bandwidth_gbps"]
+            except KeyError as exc:
+                raise ValueError(
+                    f"links[{k}]: missing required key {exc.args[0]!r} "
+                    "(need 'a', 'b', 'bandwidth_gbps')"
+                ) from None
+            try:
+                links.append(Link(
+                    a=int(a),
+                    b=int(b),
+                    bandwidth_gbps=float(bw),
+                    latency_s=float(spec.get("latency_s", 0.0)),
+                    slots=spec.get("slots"),
+                ))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(f"links[{k}]: {exc}") from None
+        return cls(n_devices, links)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinkGraph)
+            and self.n_devices == other.n_devices
+            and self.links == other.links
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_devices, self.links))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{l.a}-{l.b}" for l in self.links)
+        return f"LinkGraph({self.n_devices} devices: [{pairs}])"
+
+    # -- pickling: slots-only class needs explicit state -----------------
+    def __getstate__(self):
+        return (self.n_devices, self.links)
+
+    def __setstate__(self, state):
+        self.__init__(state[0], state[1])
+
+    def __reduce__(self):
+        return (LinkGraph, (self.n_devices, self.links))

@@ -4,16 +4,34 @@ A :class:`Platform` bundles the processing units with a symmetric
 bandwidth/latency matrix.  By convention **device 0 is the host CPU**: it is
 the default mapping target, holds the input data of source tasks and receives
 the output of sink tasks.
+
+Interconnect models.  A platform describes its interconnect in one of two
+ways:
+
+- **uniform (legacy)** — dense ``bandwidth_gbps`` / ``latency_s`` matrices
+  giving every device pair a direct transfer cost, contended (if at all)
+  against one shared slot pool.  This is the paper's host-mediated PCIe
+  model and the behaviour of every platform built before link graphs
+  existed; it is bit-for-bit unchanged.
+- **topology-aware** — an explicit :class:`~repro.platform.links.LinkGraph`
+  of per-device-pair links.  Routing is resolved *here, at construction
+  time*: the platform's ``bandwidth_gbps``/``latency_s`` attributes become
+  the routed **effective** matrices (hop-summed latency, harmonically
+  composed bandwidth — see :mod:`repro.platform.links`), so every consumer
+  of the matrices (cost-model tables, kernels, mappers) prices topology
+  with zero per-evaluation cost.  Only the runtime engine additionally
+  reads the route structure, to queue transfers on per-link slot pools.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .device import Device, DeviceKind
+from .links import Link, LinkGraph
 
 __all__ = ["Platform"]
 
@@ -22,20 +40,33 @@ __all__ = ["Platform"]
 class Platform:
     """A set of devices and their interconnect.
 
-    ``bandwidth_gbps[i][j]`` / ``latency_s[i][j]`` describe the link from
-    device ``i`` to device ``j``; the diagonal is ignored (same-device
-    transfers are free).  Matrices may be given as nested lists or numpy
-    arrays.
+    ``bandwidth_gbps[i][j]`` / ``latency_s[i][j]`` describe the (possibly
+    routed, see below) transfer cost from device ``i`` to device ``j``;
+    the diagonal is ignored (same-device transfers are free).  Matrices
+    may be given as nested lists or numpy arrays.
 
-    ``link_slots`` bounds how many cross-device transfers the shared
-    host↔device interconnect (think: one PCIe root complex) can carry
-    concurrently.  ``None`` (the default) and ``0`` both mean the
-    paper's analytic model: links are infinitely parallel and every
-    transfer takes exactly its nominal time (``0`` is normalized to
-    ``None``, matching the engine/CLI convention where ``0`` forces the
-    unlimited model).  A finite value only affects the runtime engine
-    (:mod:`repro.runtime.engine`), which then queues transfers FIFO for
-    the ``link_slots`` slots — the analytic :class:`CostModel` always
+    ``link_graph`` switches the platform to the topology-aware model:
+    pass a :class:`~repro.platform.links.LinkGraph` *instead of* the
+    matrices (passing both is an error — the matrices are derived from
+    the graph's precomputed routes, so the stored
+    ``bandwidth_gbps``/``latency_s`` are the *effective* per-pair values
+    and every matrix consumer transparently prices the topology).
+    ``link_graph=None`` (the legacy default) is the uniform
+    host-mediated interconnect: direct matrix costs, one shared
+    transfer pool.
+
+    ``link_slots`` bounds concurrent cross-device transfers.  The
+    repo-wide convention — shared with ``RuntimeEngine(link_slots=...)``
+    and per-link ``Link.slots`` — is that **``0`` means unlimited**:
+    ``0`` is normalized to ``None`` here at construction, and the
+    engine's ``link_slots=0`` likewise selects the unlimited analytic
+    model (its ``None`` means *inherit the platform setting* instead).
+    On a uniform platform a finite value is the width of the single
+    shared pool (think: one PCIe root complex); on a topology-aware
+    platform it is the default width for links that do not declare
+    their own ``slots``.  Either way a finite value only affects the
+    runtime engine (:mod:`repro.runtime.engine`), which queues
+    transfers FIFO per pool — the analytic :class:`CostModel` always
     evaluates the uncontended model.
     """
 
@@ -43,23 +74,49 @@ class Platform:
     bandwidth_gbps: np.ndarray
     latency_s: np.ndarray
     link_slots: Optional[int]
+    link_graph: Optional[LinkGraph]
 
     def __init__(
         self,
         devices: Sequence[Device],
-        bandwidth_gbps,
-        latency_s,
+        bandwidth_gbps=None,
+        latency_s=None,
         *,
         link_slots: Optional[int] = None,
+        link_graph: Optional[LinkGraph] = None,
     ) -> None:
         devices = tuple(devices)
-        bw = np.asarray(bandwidth_gbps, dtype=float).copy()
-        lat = np.asarray(latency_s, dtype=float).copy()
         m = len(devices)
         if not devices:
             raise ValueError("platform needs at least one device")
         if devices[0].kind is not DeviceKind.CPU:
             raise ValueError("device 0 must be the host CPU")
+        if link_graph is not None:
+            if not isinstance(link_graph, LinkGraph):
+                raise TypeError(
+                    f"link_graph must be a LinkGraph, got "
+                    f"{type(link_graph).__name__}"
+                )
+            if link_graph.n_devices != m:
+                raise ValueError(
+                    f"link graph spans {link_graph.n_devices} devices, "
+                    f"platform has {m}"
+                )
+            if bandwidth_gbps is not None or latency_s is not None:
+                raise ValueError(
+                    "pass either interconnect matrices or link_graph, not "
+                    "both (the matrices are derived from the link graph)"
+                )
+            bw = link_graph.eff_bandwidth_gbps.copy()
+            lat = link_graph.eff_latency_s.copy()
+        else:
+            if bandwidth_gbps is None or latency_s is None:
+                raise ValueError(
+                    "bandwidth_gbps and latency_s are required without a "
+                    "link_graph"
+                )
+            bw = np.asarray(bandwidth_gbps, dtype=float).copy()
+            lat = np.asarray(latency_s, dtype=float).copy()
         if bw.shape != (m, m) or lat.shape != (m, m):
             raise ValueError(
                 f"interconnect matrices must be {m}x{m}, got {bw.shape}/{lat.shape}"
@@ -85,6 +142,7 @@ class Platform:
         object.__setattr__(self, "bandwidth_gbps", bw)
         object.__setattr__(self, "latency_s", lat)
         object.__setattr__(self, "link_slots", link_slots)
+        object.__setattr__(self, "link_graph", link_graph)
 
     # ------------------------------------------------------------------
     @property
@@ -112,11 +170,50 @@ class Platform:
         return np.array([d.kind is kind for d in self.devices])
 
     def transfer_time(self, d_from: int, d_to: int, data_mb: float) -> float:
-        """Time (s) to move ``data_mb`` MB between two devices (0 if same)."""
+        """Time (s) to move ``data_mb`` MB between two devices (0 if same).
+
+        On a topology-aware platform the matrices are the routed
+        effective values, so this *is* the routed transfer cost — the
+        one formula every evaluation layer shares.
+        """
         if d_from == d_to:
             return 0.0
         bw = self.bandwidth_gbps[d_from, d_to]
         return float(self.latency_s[d_from, d_to] + data_mb / 1000.0 / bw)
+
+    # ------------------------------------------------------------------
+    # link-graph views (empty/trivial on uniform legacy platforms)
+    # ------------------------------------------------------------------
+    @property
+    def links(self) -> Tuple[Link, ...]:
+        """The explicit links, or ``()`` for a uniform platform."""
+        return self.link_graph.links if self.link_graph is not None else ()
+
+    @property
+    def n_links(self) -> int:
+        return len(self.links)
+
+    def route(self, d_from: int, d_to: int) -> Tuple[int, ...]:
+        """Link indices a ``d_from -> d_to`` transfer traverses.
+
+        Empty for same-device transfers and on uniform platforms (whose
+        single shared interconnect has no explicit links — the runtime
+        engine models it as one anonymous pool).
+        """
+        if d_from == d_to or self.link_graph is None:
+            return ()
+        return self.link_graph.route(d_from, d_to)
+
+    def link_label(self, index: int) -> str:
+        """Human-readable name of link ``index`` (``a<->b`` device names).
+
+        ``-1`` — and any index on a uniform platform — names the legacy
+        shared interconnect.
+        """
+        if self.link_graph is None or not 0 <= index < self.n_links:
+            return "interconnect"
+        link = self.link_graph.links[index]
+        return f"{self.devices[link.a].name}<->{self.devices[link.b].name}"
 
     def serializes(self) -> np.ndarray:
         return np.array([d.serializes for d in self.devices])
@@ -127,13 +224,35 @@ class Platform:
     def with_devices(self, devices: Sequence[Device]) -> "Platform":
         """A platform with new devices on this platform's interconnect.
 
-        Keeps ``bandwidth_gbps``/``latency_s``/``link_slots`` — the one
-        way to derive a variant platform (e.g. a resized FPGA) without
-        hand-copying, and forgetting, an interconnect field.
+        Keeps ``bandwidth_gbps``/``latency_s``/``link_slots`` — and the
+        link graph, if any — the one way to derive a variant platform
+        (e.g. a resized FPGA) without hand-copying, and forgetting, an
+        interconnect field.
         """
+        if self.link_graph is not None:
+            return Platform(
+                devices, link_slots=self.link_slots,
+                link_graph=self.link_graph,
+            )
         return Platform(
             devices, self.bandwidth_gbps, self.latency_s,
             link_slots=self.link_slots,
+        )
+
+    def with_link_graph(self, link_graph: Optional[LinkGraph]) -> "Platform":
+        """This platform reshaped onto ``link_graph``.
+
+        With ``None``, drops the topology and keeps the *current*
+        (effective) matrices as a uniform interconnect — the flattened
+        twin used by the bit-identity equivalence tests.
+        """
+        if link_graph is None:
+            return Platform(
+                self.devices, self.bandwidth_gbps, self.latency_s,
+                link_slots=self.link_slots,
+            )
+        return Platform(
+            self.devices, link_slots=self.link_slots, link_graph=link_graph,
         )
 
     def area_capacities(self) -> Dict[int, float]:
@@ -146,4 +265,9 @@ class Platform:
 
     def __repr__(self) -> str:
         names = ", ".join(f"{d.name}({d.kind.value})" for d in self.devices)
-        return f"Platform([{names}])"
+        topo = (
+            f", {self.link_graph.n_links} links"
+            if self.link_graph is not None
+            else ""
+        )
+        return f"Platform([{names}]{topo})"

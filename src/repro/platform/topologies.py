@@ -1,0 +1,159 @@
+"""Preset interconnect topologies, derived from a platform's link costs.
+
+Platform *shape* is an experimental axis the same way platform
+granularity is in HeSP: the contention sweep
+(``repro experiment contention --topology ...``) replays identical
+workloads over different link graphs and measures what routing and
+per-link queueing cost.  Every preset here derives its per-link
+bandwidth/latency from the platform's existing pairwise matrices, so a
+topology variant of e.g. :func:`~repro.platform.presets.paper_platform`
+is a *reshaping* of the same hardware numbers, never a new hardware
+spec:
+
+- ``star``  — one hub (the host, device 0) with a dedicated hub↔device
+  link per device; device↔device transfers route over two hops through
+  the hub.  This is the explicit form of the paper's host-mediated
+  interconnect.
+- ``mesh``  — a direct link for every device pair.  All routes are one
+  hop, so effective costs equal the legacy matrices **bit-for-bit**;
+  only contention changes (per-link pools instead of one shared pool).
+- ``ring``  — devices on a cycle ``0-1-...-(m-1)-0``; transfers route
+  the shorter arc (ascending-index tie-break).
+- ``numa``  — two NUMA nodes (first half / second half of the device
+  list), full mesh inside each node, one bridge link between the node
+  heads — the classic contended inter-socket channel.
+
+``slots`` bounds concurrent transfers *per link* (``None``/``0`` =
+unlimited, the repo-wide convention); ``with_topology`` installs the
+preset on a platform and returns the topology-aware variant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .links import Link, LinkGraph
+from .platform import Platform
+
+__all__ = [
+    "TOPOLOGY_NAMES",
+    "star",
+    "mesh",
+    "ring",
+    "numa_pairs",
+    "make_topology",
+    "with_topology",
+]
+
+
+def _pair_link(
+    platform: Platform, a: int, b: int, slots: Optional[int]
+) -> Link:
+    """A link between ``a`` and ``b`` at the platform's pairwise cost."""
+    return Link(
+        a=a,
+        b=b,
+        bandwidth_gbps=float(platform.bandwidth_gbps[a, b]),
+        latency_s=float(platform.latency_s[a, b]),
+        slots=slots,
+    )
+
+
+def star(platform: Platform, *, slots: Optional[int] = None) -> LinkGraph:
+    """Hub-and-spoke: one host↔device link per device (hub = device 0)."""
+    m = platform.n_devices
+    links = [_pair_link(platform, 0, d, slots) for d in range(1, m)]
+    return LinkGraph(m, links)
+
+
+def mesh(platform: Platform, *, slots: Optional[int] = None) -> LinkGraph:
+    """Fully connected: a direct link for every device pair."""
+    m = platform.n_devices
+    links = [
+        _pair_link(platform, a, b, slots)
+        for a in range(m)
+        for b in range(a + 1, m)
+    ]
+    return LinkGraph(m, links)
+
+
+def ring(platform: Platform, *, slots: Optional[int] = None) -> LinkGraph:
+    """A cycle ``0-1-...-(m-1)-0`` (a line for two devices)."""
+    m = platform.n_devices
+    links = [_pair_link(platform, d, d + 1, slots) for d in range(m - 1)]
+    if m > 2:
+        links.append(_pair_link(platform, 0, m - 1, slots))
+    return LinkGraph(m, links)
+
+
+def numa_pairs(
+    platform: Platform,
+    *,
+    slots: Optional[int] = None,
+    bridge_slots: Optional[int] = None,
+) -> LinkGraph:
+    """Two NUMA nodes bridged by one inter-node link.
+
+    Devices ``0 .. ceil(m/2)-1`` form node 0, the rest node 1; each node
+    is internally fully connected and the node heads (device 0 and the
+    first device of node 1) share the single bridge.  ``bridge_slots``
+    defaults to ``slots`` — making the bridge the narrowest resource is
+    exactly the NUMA experiment.  Falls back to a plain mesh below three
+    devices (there is nothing to partition).
+    """
+    m = platform.n_devices
+    if m < 3:
+        return mesh(platform, slots=slots)
+    half = (m + 1) // 2
+    nodes = [list(range(half)), list(range(half, m))]
+    links: List[Link] = []
+    for node in nodes:
+        for x, a in enumerate(node):
+            for b in node[x + 1:]:
+                links.append(_pair_link(platform, a, b, slots))
+    links.append(_pair_link(
+        platform, 0, half, bridge_slots if bridge_slots is not None else slots
+    ))
+    return LinkGraph(m, links)
+
+
+_PRESETS: Dict[str, Callable[..., LinkGraph]] = {
+    "star": star,
+    "mesh": mesh,
+    "ring": ring,
+    "numa": numa_pairs,
+}
+
+#: Preset names accepted by :func:`make_topology` and the CLI's
+#: ``--topology`` axis (the CLI additionally accepts ``"shared"`` for
+#: the legacy single-pool model, which is not a link graph).
+TOPOLOGY_NAMES = tuple(sorted(_PRESETS))
+
+
+def make_topology(
+    name: str, platform: Platform, *, slots: Optional[int] = None
+) -> LinkGraph:
+    """Build the named preset topology for ``platform``."""
+    try:
+        preset = _PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r} (choose from {', '.join(TOPOLOGY_NAMES)})"
+        ) from None
+    return preset(platform, slots=slots)
+
+
+def with_topology(
+    platform: Platform, name: str, *, slots: Optional[int] = None
+) -> Platform:
+    """``platform`` reshaped onto the named preset topology.
+
+    The returned platform keeps the devices and ``link_slots`` but
+    carries the preset :class:`~repro.platform.links.LinkGraph`; its
+    ``bandwidth_gbps``/``latency_s`` become the routed effective
+    matrices.  ``name="shared"`` (or ``"flat"``) returns the platform
+    unchanged — the legacy uniform-interconnect model.
+    """
+    if name in ("shared", "flat", "none"):
+        return platform
+    return platform.with_link_graph(make_topology(name, platform, slots=slots))

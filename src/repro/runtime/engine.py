@@ -54,17 +54,26 @@ per job:
   completes (see :func:`_remap_tasks`).  The two layers answer different
   questions: "may this job's mapping exist at all" vs "who holds the
   fabric right now".
-- **Host↔device links** — with ``link_slots`` set (on the
-  :class:`~repro.platform.platform.Platform` or the engine), every
+- **Interconnect links** — with transfer slots bounded, every
   cross-device transfer (predecessor edges, initial host→device staging,
-  final device→host results) queues FIFO for one of the shared transfer
-  slots in commitment order.  Slots keep per-slot busy-until times
-  exactly like the device slots themselves: no gap backfilling, so a
-  transfer committed later never slips into an idle window before an
-  earlier commitment — reported link waits are the conservative
-  list-scheduling answer, consistent with how the whole engine
-  schedules.  Unlimited slots (``None``) keep the analytic
-  infinite-parallel link model bit-identically.
+  final device→host results) queues FIFO in commitment order.  On a
+  uniform (legacy) platform the bound is ``link_slots`` (on the
+  :class:`~repro.platform.platform.Platform` or the engine) and there is
+  **one shared pool** of transfer slots; on a topology-aware platform
+  each finite-width link owns its own pool and a transfer claims a slot
+  on **every link of its route simultaneously** (a routed transfer holds
+  the whole path for its duration, wormhole-style) — it starts at the
+  max of its data-ready time and each route pool's earliest-free slot,
+  and the ``LinkWait`` record names the link whose queue blocked
+  longest.  Either way, slots keep per-slot busy-until times exactly
+  like the device slots themselves: no gap backfilling, so a transfer
+  committed later never slips into an idle window before an earlier
+  commitment — reported link waits are the conservative list-scheduling
+  answer, consistent with how the whole engine schedules.  Unlimited
+  slots (``None``/``0``, and links without their own ``slots``) keep
+  the analytic infinite-parallel link model bit-identically; routing
+  still shapes *cost* through the platform's effective matrices, which
+  the cost-model tables already price.
 - **Energy** — the trace accounts energy with the rates of
   :mod:`repro.evaluation.energy`: execution seconds × active watts,
   transferred MB × :data:`~repro.evaluation.energy.JOULES_PER_MB`, plus
@@ -188,7 +197,7 @@ class _JobState:
         "committed", "done", "state", "gen",
         "ready_val", "unknown", "drain", "streamed",
         "start", "finish", "slot", "ready", "exec_actual", "fill_actual",
-        "area_wait", "link_wait", "link_wait_n", "final_wait",
+        "area_wait", "link_wait", "link_wait_n", "link_block", "final_wait",
         "link_claims", "final_end",
         "remaining", "completion", "n_killed", "n_remapped",
     )
@@ -258,9 +267,12 @@ class _JobState:
         self.area_wait = [0.0] * n      # start delay from the area ledger
         self.link_wait = [0.0] * n      # input transfers' slot-queue time
         self.link_wait_n = [0] * n      # how many input transfers queued
+        self.link_block = [-1] * n      # link index that blocked longest
         self.final_wait = [0.0] * n     # result transfer's slot-queue time
-        #: link-slot claims per task: [(slot, busy-until), ...]
-        self.link_claims: List[List[Tuple[int, float]]] = [[] for _ in range(n)]
+        #: link-slot claims per task: [(pool, slot, busy-until), ...]
+        self.link_claims: List[List[Tuple[int, int, float]]] = [
+            [] for _ in range(n)
+        ]
         #: absolute end of the claimed result transfer (-1 = uncontended)
         self.final_end = [-1.0] * n
         self.remaining = n
@@ -284,10 +296,17 @@ class _JobState:
 class RuntimeEngine:
     """Discrete-event executor of static mappings on one platform.
 
-    ``link_slots`` overrides the platform's shared-interconnect width for
-    this engine: ``None`` inherits ``platform.link_slots``, ``0`` forces
-    the unlimited (analytic) link model, any positive value bounds the
-    number of concurrent cross-device transfers.
+    ``link_slots`` overrides the platform's transfer-slot bound for this
+    engine.  The repo-wide ``0 = unlimited`` convention applies, with
+    one engine-specific nuance: ``None`` means *inherit*
+    ``platform.link_slots`` (where ``0`` has already been normalized to
+    ``None`` = unlimited), while an explicit ``0`` here **forces** the
+    unlimited analytic link model — overriding both the platform's
+    shared width and any per-link ``slots`` a topology-aware platform's
+    links declare.  A positive value bounds concurrent cross-device
+    transfers: the width of the single shared pool on a uniform
+    platform, or the default width of links without their own ``slots``
+    on a topology-aware one (links that declare ``slots`` keep them).
 
     ``slowdown_replan_threshold``: with a replan policy set, a
     :class:`~repro.runtime.scenarios.DeviceSlowdown` whose *cumulative*
@@ -310,6 +329,7 @@ class RuntimeEngine:
         self.replan_policy = make_replan_policy(replan_policy)
         if link_slots is None:
             self.link_slots = platform.link_slots
+            self._links_forced_off = False
         else:
             slots = int(link_slots)
             if slots != link_slots or slots < 0:
@@ -318,6 +338,8 @@ class RuntimeEngine:
                     "(0 = unlimited)"
                 )
             self.link_slots = slots if slots else None
+            # an explicit 0 disables per-link pools too (force-unlimited)
+            self._links_forced_off = slots == 0
         if slowdown_replan_threshold <= 1.0:
             raise ValueError("slowdown_replan_threshold must exceed 1")
         self.slowdown_replan_threshold = float(slowdown_replan_threshold)
@@ -395,10 +417,15 @@ class RuntimeEngine:
         self._seq = 0
         self._now = 0.0
         self._n_fallback_dead = 0
-        # shared-resource state: link slots, FPGA area ledger, energy
-        self._link_avail: Optional[List[float]] = (
-            [0.0] * self.link_slots if self.link_slots is not None else None
-        )
+        # shared-resource state: link slot pools, FPGA area ledger, energy.
+        # _link_pools[p] holds pool p's per-slot busy-until times;
+        # _route_pools[a][b] lists the (pool, link) pairs a transfer
+        # a -> b claims.  A uniform platform has one anonymous pool
+        # (link -1) on every cross-device route; a topology-aware
+        # platform has one pool per finite-width link, and routes
+        # through only-unlimited links claim nothing.  No finite pools
+        # at all -> None -> the analytic infinite-parallel model.
+        self._link_pools, self._route_pools = self._build_link_pools(m)
         #: per area-capped device: [(start, end, area)] of in-flight claims
         self._area_claims: Dict[int, List[Tuple[float, float, float]]] = {
             d: [] for d in self._area_caps
@@ -537,7 +564,7 @@ class RuntimeEngine:
 
     def _commit(self, js: _JobState, i: int, d: int, work: deque) -> None:
         model = js.model
-        if self._link_avail is not None:
+        if self._link_pools is not None:
             r = self._claim_links(js, i, d)
         else:
             r = js.ready_val[i]
@@ -576,13 +603,15 @@ class RuntimeEngine:
         js.fill_actual[i] = model._fill[i][d] * js.exec_f[i] * speed
         js.final_end[i] = -1.0
         js.final_wait[i] = 0.0
-        if self._link_avail is not None:
+        if self._link_pools is not None:
             # the device→host result transfer of a sink queues as well
             tf = model._final[i][d] * js.final_f[i]
             if tf > 0.0:
-                ts, end = self._claim_link_slot(js, i, fin, tf)
-                js.final_end[i] = end
-                js.final_wait[i] = ts - fin
+                pools = self._route_pools[d][0]
+                if pools:
+                    ts, end, _bl = self._claim_route(js, i, fin, tf, pools)
+                    js.final_end[i] = end
+                    js.final_wait[i] = ts - fin
 
         gen = js.gen[i]
         if js.state[i] == _RELEASED:
@@ -609,50 +638,131 @@ class RuntimeEngine:
     # ------------------------------------------------------------------
     # shared-resource claims (cross-job area ledger, link slots, energy)
     # ------------------------------------------------------------------
-    def _claim_link_slot(
-        self, js: _JobState, i: int, ready: float, dur: float
-    ) -> Tuple[float, float]:
-        """FIFO-claim the earliest-free link slot for one transfer.
+    def _build_link_pools(
+        self, m: int
+    ) -> Tuple[
+        Optional[List[List[float]]],
+        Optional[List[List[Tuple[Tuple[int, int], ...]]]],
+    ]:
+        """Slot pools and per-pair route→pool tables for this run.
 
-        The transfer runs ``[max(ready, slot busy-until), +dur)`` on the
-        slot that frees first (lowest index on ties); the claim is
-        recorded on task ``i`` so rollback can rebuild slot state.
-        Returns ``(start, end)`` of the transfer.
+        Uniform platform + finite ``link_slots``: one pool, every
+        cross-device route claims it (link id ``-1`` — the anonymous
+        shared interconnect).  Topology-aware platform: one pool per
+        link with a finite width (its own ``slots``, else the engine
+        default); a route's claim list keeps hop order and skips
+        unlimited links.  ``(None, None)`` when nothing is finite (or
+        the engine was built with ``link_slots=0``): the analytic model.
         """
-        avail = self._link_avail
-        best = 0
-        earliest = avail[0]
-        for k in range(1, len(avail)):
-            if avail[k] < earliest:
-                earliest = avail[k]
-                best = k
-        ts = ready if ready > earliest else earliest
+        if self._links_forced_off:
+            return None, None
+        lg = self.platform.link_graph
+        if lg is None:
+            if self.link_slots is None:
+                return None, None
+            shared = ((0, -1),)
+            routes = [
+                [() if a == b else shared for b in range(m)]
+                for a in range(m)
+            ]
+            return [[0.0] * self.link_slots], routes
+        pool_of: Dict[int, int] = {}
+        pools: List[List[float]] = []
+        for li, link in enumerate(lg.links):
+            width = link.slots if link.slots is not None else self.link_slots
+            if width is not None:
+                pool_of[li] = len(pools)
+                pools.append([0.0] * width)
+        if not pools:
+            return None, None
+        routes = [
+            [
+                tuple(
+                    (pool_of[li], li)
+                    for li in lg.routes[a][b]
+                    if li in pool_of
+                )
+                for b in range(m)
+            ]
+            for a in range(m)
+        ]
+        return pools, routes
+
+    def _claim_route(
+        self,
+        js: _JobState,
+        i: int,
+        ready: float,
+        dur: float,
+        pools: Tuple[Tuple[int, int], ...],
+    ) -> Tuple[float, float, int]:
+        """FIFO-claim one slot on every pool of a transfer's route.
+
+        The transfer starts at the max of ``ready`` and each pool's
+        earliest-free slot (lowest index on ties) and occupies all the
+        claimed slots for ``dur`` — a routed transfer holds its whole
+        path.  Claims are recorded on task ``i`` as ``(pool, slot,
+        end)`` so rollback can rebuild slot state.  Returns ``(start,
+        end, link)`` where ``link`` is the route link whose queue set
+        the start time (``-1`` if ``ready`` did, or on the uniform
+        platform's anonymous pool).
+        """
+        ts = ready
+        blocking = -1
+        picks: List[Tuple[int, int, int]] = []
+        for pi, li in pools:
+            avail = self._link_pools[pi]
+            best = 0
+            earliest = avail[0]
+            for k in range(1, len(avail)):
+                if avail[k] < earliest:
+                    earliest = avail[k]
+                    best = k
+            picks.append((pi, best, li))
+            if earliest > ts:
+                ts = earliest
+                blocking = li
         end = ts + dur
-        avail[best] = end
-        js.link_claims[i].append((best, end))
-        return ts, end
+        claims = js.link_claims[i]
+        for pi, best, _li in picks:
+            self._link_pools[pi][best] = end
+            claims.append((pi, best, end))
+        return ts, end, blocking
 
     def _claim_links(self, js: _JobState, i: int, d: int) -> float:
-        """Queue task ``i``'s input transfers on the shared link slots.
+        """Queue task ``i``'s input transfers on their routes' slot pools.
 
         Recomputes the task's ready time with every cross-device transfer
         (initial host→device staging first, then predecessor edges in
-        model order) claiming the earliest-free slot FIFO in commitment
-        order: a transfer starts at ``max(data available, slot free)``.
-        Same-device and zero-duration transfers bypass the interconnect.
-        Also refreshes drain/streamed exactly like the uncontended path.
+        model order) claiming the earliest-free slots FIFO in commitment
+        order: a transfer starts at ``max(data available, route free)``.
+        Same-device and zero-duration transfers — and routes through
+        only-unlimited links — bypass the slot pools.  Also refreshes
+        drain/streamed exactly like the uncontended path, and records
+        which link blocked the longest (for the ``LinkWait`` event).
         """
         model = js.model
+        route_pools = self._route_pools
         js.link_claims[i].clear()
         wait = 0.0
         n_waited = 0
+        worst = 0.0
+        block = -1
         r = js.arrival
         t0 = model._initial[i][d] * js.init_f[i]
         if t0 > 0.0:
-            ts, end = self._claim_link_slot(js, i, js.arrival, t0)
-            wait += ts - js.arrival
-            n_waited += ts > js.arrival
-            r = end
+            pools = route_pools[0][d]
+            if pools:
+                ts, end, bl = self._claim_route(js, i, js.arrival, t0, pools)
+                w = ts - js.arrival
+                wait += w
+                n_waited += ts > js.arrival
+                if w > worst:
+                    worst = w
+                    block = bl
+                r = end
+            else:
+                r = js.arrival + t0
         drain = 0.0
         streamed = False
         for k, (p, row) in enumerate(model._pred[i]):
@@ -664,11 +774,16 @@ class RuntimeEngine:
                     drain = js.finish[p]
             else:
                 tau = row[dp][d] * js.trans_f[i][k]
-                if dp != d and tau > 0.0:
+                pools = route_pools[dp][d] if dp != d else ()
+                if pools and tau > 0.0:
                     fp = js.finish[p]
-                    ts, contrib = self._claim_link_slot(js, i, fp, tau)
-                    wait += ts - fp
+                    ts, contrib, bl = self._claim_route(js, i, fp, tau, pools)
+                    w = ts - fp
+                    wait += w
                     n_waited += ts > fp
+                    if w > worst:
+                        worst = w
+                        block = bl
                 else:
                     contrib = js.finish[p] + tau
             if contrib > r:
@@ -677,6 +792,7 @@ class RuntimeEngine:
         js.streamed[i] = streamed
         js.link_wait[i] = wait
         js.link_wait_n[i] = n_waited
+        js.link_block[i] = block
         return r
 
     def _claim_area(
@@ -798,7 +914,9 @@ class RuntimeEngine:
         if w > 0.0:
             self._link_wait_total += w
             self._n_link_waits += js.link_wait_n[i]
-            self._emit(ev.LinkWait(self._now, js.name, js.model.tasks[i], w))
+            self._emit(ev.LinkWait(
+                self._now, js.name, js.model.tasks[i], w, js.link_block[i]
+            ))
         # input data is on the device now: charge the transfer energy
         # (re-charged if a failure rolls the task back and it restarts)
         self._e_mb += js.emodel.transfer_mb(js.mapping, i)
@@ -1065,15 +1183,15 @@ class RuntimeEngine:
         # task's result transfer may outlive it); rolled-back tasks'
         # claims evaporate and are re-queued when they recommit.  The
         # area ledger keeps the claims of committed, unfinished tasks.
-        if self._link_avail is not None:
-            link_avail = [0.0] * len(self._link_avail)
+        if self._link_pools is not None:
+            link_pools = [[0.0] * len(pool) for pool in self._link_pools]
             for js in self._jobs:
                 for i in range(js.model.n):
                     if js.committed[i]:
-                        for s, end in js.link_claims[i]:
-                            if end > link_avail[s]:
-                                link_avail[s] = end
-            self._link_avail = link_avail
+                        for pool, s, end in js.link_claims[i]:
+                            if end > link_pools[pool][s]:
+                                link_pools[pool][s] = end
+            self._link_pools = link_pools
         if self._area_claims:
             claims: Dict[int, List[Tuple[float, float, float]]] = {
                 d: [] for d in self._area_caps

@@ -122,13 +122,17 @@ class AreaWait(Event):
 
 @dataclass(frozen=True)
 class LinkWait(Event):
-    """A task's input transfers queued for a busy host↔device link slot.
+    """A task's input transfers queued for a busy interconnect slot.
 
     Emitted just before the task's :class:`TaskStarted` record when the
-    platform bounds concurrent transfers (``link_slots``) and at least
-    one of the task's input transfers (predecessor edges or the initial
+    platform bounds concurrent transfers (``link_slots`` or per-link
+    ``slots`` on a topology-aware platform) and at least one of the
+    task's input transfers (predecessor edges or the initial
     host→device staging) had to wait ``waited`` seconds in total for a
-    free slot.  Sink-side result transfers also queue but are aggregated
+    free slot.  ``link`` identifies the blocking resource: the index
+    into ``platform.links`` whose queue contributed the longest wait on
+    a topology-aware platform, or ``-1`` for the legacy single shared
+    pool.  Sink-side result transfers also queue but are aggregated
     directly into ``RuntimeTrace.link_wait_time`` (the task has already
     finished when they run, so there is no task record to attach to).
     """
@@ -136,6 +140,7 @@ class LinkWait(Event):
     job: str
     task: int
     waited: float
+    link: int = -1
 
 
 @dataclass(frozen=True)

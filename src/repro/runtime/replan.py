@@ -47,6 +47,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..graphs.taskgraph import TaskGraph
+from ..platform.links import LinkGraph
 from ..platform.platform import Platform
 
 __all__ = [
@@ -138,6 +139,13 @@ def _surviving_platform(
     residual area (floored just above zero: the :class:`Device`
     invariant requires a positive capacity, and no real task fits in
     ``1e-12`` area units).
+
+    A topology-aware platform keeps its link graph when the links among
+    the surviving devices still connect them (the induced subgraph, with
+    endpoints reindexed); if the failure cut the graph — e.g. a star hub
+    died — the restriction falls back to slicing the routed *effective*
+    matrices, preserving transfer costs as they were even though some
+    routes traversed the dead device.
     """
     used = dict(area_in_use)
     devices = []
@@ -154,6 +162,21 @@ def _surviving_platform(
                 dev.area_capacity - used[d], 1e-12
             )
         devices.append(dataclasses.replace(dev, **changes) if changes else dev)
+    if platform.link_graph is not None:
+        remap = {int(d): k for k, d in enumerate(alive)}
+        links = [
+            dataclasses.replace(l, a=remap[l.a], b=remap[l.b])
+            for l in platform.link_graph.links
+            if l.a in remap and l.b in remap
+        ]
+        try:
+            sub_graph = LinkGraph(len(devices), links)
+        except ValueError:
+            sub_graph = None  # surviving links no longer connect the devices
+        if sub_graph is not None:
+            return Platform(
+                devices, link_slots=platform.link_slots, link_graph=sub_graph
+            )
     idx = np.asarray(alive, dtype=int)
     return Platform(
         devices,

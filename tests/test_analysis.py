@@ -54,7 +54,7 @@ class TestRegistry:
     def test_all_shipped_rules_registered(self):
         assert rule_codes() == [
             "CLI001", "DET001", "DET002", "EXC001",
-            "KER001", "OBS001", "PAR001", "PAR002", "TOL001",
+            "KER001", "KER002", "OBS001", "PAR001", "PAR002", "TOL001",
         ]
 
     def test_unknown_code_rejected(self):
@@ -373,6 +373,39 @@ class TestKer001:
         assert DEDUP_FNV_OFFSET == 1469598103934665603
         assert DEDUP_FNV_PRIME == 1099511628211
         assert DEDUP_TABLE_FACTOR == 2
+
+
+# ---------------------------------------------------------------------------
+# KER002 C kernel stays topology-agnostic
+# ---------------------------------------------------------------------------
+
+class TestKer002:
+    def test_repo_kernel_is_topology_agnostic(self):
+        active = all_rules(resolve_codes("KER002"), None)
+        path = "src/repro/evaluation/_ckernel.py"
+        source = open(path).read()
+        report = lint_sources([(path, source)], active)
+        assert report.findings == []
+
+    def test_rule_fires_on_routing_identifiers(self, monkeypatch):
+        from repro.evaluation import _ckernel
+
+        monkeypatch.setattr(
+            _ckernel, "_C_SOURCE",
+            "static double x;\nint hop_count = 0;\nint route_to[4];\n",
+        )
+        active = all_rules(resolve_codes("KER002"), None)
+        path = "src/repro/evaluation/_ckernel.py"
+        report = lint_sources([(path, "x = 1\n")], active)
+        assert [f.code for f in report.findings] == ["KER002", "KER002"]
+        assert report.findings[0].line == 2
+        assert "'hop_count'" in report.findings[0].message or \
+            "hop" in report.findings[0].message
+
+    def test_rule_silent_for_other_modules(self):
+        active = all_rules(resolve_codes("KER002"), None)
+        report = lint_sources([(PKG, "x = 1\n")], active)
+        assert report.findings == []
 
 
 # ---------------------------------------------------------------------------
